@@ -1,0 +1,96 @@
+"""Shared infrastructure for the experiment benchmarks (E1–E8).
+
+Each experiment prints the rows/series its paper figure or table
+reports. Because pytest captures stdout, experiments register their
+tables through the ``experiment_report`` fixture; the collected output
+is printed in the terminal summary (always visible) and appended to
+``benchmarks/results.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.workloads.generator import WideRowGenerator
+
+_REPORTS: list[str] = []
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+@pytest.fixture
+def experiment_report():
+    """Collector: call with a formatted table/series string."""
+
+    def add(text: str) -> None:
+        _REPORTS.append(text)
+
+    return add
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_sep("=", "experiment results")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+    with open(RESULTS_PATH, "a") as f:
+        f.write(f"\n===== run at {time.strftime('%Y-%m-%d %H:%M:%S')} =====\n")
+        for text in _REPORTS:
+            f.write("\n" + text + "\n")
+
+
+# ----------------------------------------------------------------------
+# Database builders
+# ----------------------------------------------------------------------
+
+SMALL_EXTENT = 8 * 1024 * 1024
+
+
+def config_for(mode: DurabilityMode, **overrides) -> EngineConfig:
+    defaults = dict(mode=mode, extent_size=SMALL_EXTENT)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def build_wide_db(
+    path: str,
+    mode: DurabilityMode,
+    rows: int,
+    checkpoint: bool = False,
+    seed: int = 11,
+    **overrides,
+) -> EngineConfig:
+    """Create, populate with wide rows, and cleanly close a database.
+
+    Returns the config to reopen it with.
+    """
+    cfg = config_for(mode, **overrides)
+    db = Database(path, cfg)
+    gen = WideRowGenerator(seed=seed)
+    schema = {col.name: col.dtype for col in gen.schema}
+    db.create_table("wide", schema)
+    batch = 5000
+    remaining = rows
+    while remaining > 0:
+        db.bulk_insert("wide", gen.rows(min(batch, remaining)))
+        remaining -= batch
+    if checkpoint and mode is DurabilityMode.LOG:
+        db.checkpoint()
+    db.close()
+    return cfg
+
+
+def time_restart(path: str, cfg: EngineConfig) -> tuple[float, Database]:
+    """Wall time of a cold open (recovery included); caller closes."""
+    start = time.perf_counter()
+    db = Database(path, cfg)
+    elapsed = time.perf_counter() - start
+    return elapsed, db

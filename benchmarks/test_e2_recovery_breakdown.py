@@ -1,0 +1,80 @@
+"""E2 — recovery time breakdown by phase.
+
+Reconstructed table: where restart time goes in each durability mode.
+
+Expected shape: every LOG phase (checkpoint load, log replay, index
+rebuild) is O(data) and dominates; every NVM phase (pool open, catalog
+attach, transaction fix-up) is O(1)-ish and the whole restart stays in
+the low milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.query.predicate import Eq
+
+from benchmarks.conftest import build_wide_db, time_restart
+
+ROWS = 30_000
+
+
+@pytest.fixture(scope="module")
+def prepared(tmp_path_factory):
+    base = tmp_path_factory.mktemp("e2")
+    points = {}
+    for mode, checkpoint, tag in [
+        (DurabilityMode.LOG, False, "log_replay"),
+        (DurabilityMode.LOG, True, "log_checkpoint"),
+        (DurabilityMode.NVM, False, "nvm"),
+    ]:
+        path = str(base / tag)
+        cfg = build_wide_db(path, mode, ROWS, checkpoint=checkpoint)
+        # Declare an index so the index-rebuild phase has real work.
+        db = Database(path, cfg)
+        db.create_index("wide", "id")
+        if tag == "log_checkpoint":
+            db.checkpoint()
+        db.close()
+        points[tag] = (path, cfg)
+    return points
+
+
+def test_e2_recovery_breakdown(prepared, experiment_report, benchmark):
+    rows_out = []
+    reports = {}
+    for tag, (path, cfg) in prepared.items():
+        total, db = time_restart(path, cfg)
+        report = db.last_recovery
+        reports[tag] = report
+        record = {"mode": tag, "total_s": total}
+        for phase, seconds in report.phases:
+            record[phase + "_s"] = seconds
+        record["replayed_records"] = report.log_records_replayed
+        record["txn_fixups"] = (
+            report.txns_rolled_back + report.txns_rolled_forward
+        )
+        rows_out.append(record)
+        # Data must be fully usable right after recovery.
+        assert db.query("wide").count == ROWS
+        assert db.query("wide", Eq("id", ROWS // 2)).count == 1
+        db.close()
+
+    experiment_report(
+        format_table(rows_out, title=f"E2: recovery breakdown ({ROWS} rows)")
+    )
+
+    # Shape assertions.
+    nvm = next(r for r in rows_out if r["mode"] == "nvm")
+    replay = next(r for r in rows_out if r["mode"] == "log_replay")
+    ckpt = next(r for r in rows_out if r["mode"] == "log_checkpoint")
+    assert nvm["total_s"] < 0.1
+    assert replay["log_replay_s"] > 0.5 * replay["total_s"]
+    assert ckpt["checkpoint_load_s"] > 0
+    assert replay["total_s"] > nvm["total_s"] * 10
+
+    path, cfg = prepared["nvm"]
+    benchmark.pedantic(lambda: Database(path, cfg).close(), rounds=5, iterations=1)

@@ -1,0 +1,83 @@
+"""E3 — runtime overhead of durability (throughput by mode).
+
+Reconstructed figure: transaction throughput of the same YCSB-style
+workload under NONE (no durability), NVM (Hyrise-NV), LOG with
+synchronous commit, and LOG with group commit.
+
+Expected shape: NONE >= NVM > LOG(sync); group commit narrows (but does
+not close) LOG's gap; NVM pays only cache-line flush traffic, so it
+stays within a modest factor of NONE even on a write-heavy mix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver
+
+from benchmarks.conftest import config_for
+
+RECORDS = 400
+OPERATIONS = 1200
+
+VARIANTS = [
+    ("none", DurabilityMode.NONE, {}),
+    ("nvm", DurabilityMode.NVM, {}),
+    ("log_sync", DurabilityMode.LOG, {"group_commit_size": 1}),
+    ("log_group32", DurabilityMode.LOG, {"group_commit_size": 32}),
+]
+
+WRITE_HEAVY = dict(read_ratio=0.2, update_ratio=0.6, insert_ratio=0.2)
+READ_HEAVY = dict(read_ratio=0.9, update_ratio=0.05, insert_ratio=0.05)
+
+
+def _run_variant(tmp_path, tag, mode, overrides, mix) -> float:
+    db = Database(str(tmp_path / f"{tag}-{mix['read_ratio']}"), config_for(mode, **overrides))
+    driver = YcsbDriver(db, YcsbConfig(records=RECORDS, seed=7, **mix))
+    driver.load()
+    result = driver.run(OPERATIONS)
+    db.close()
+    return result.ops_per_second
+
+
+def test_e3_throughput_by_durability_mode(tmp_path, experiment_report, benchmark):
+    rows_out = []
+    measured = {}
+    for mix_name, mix in [("write_heavy", WRITE_HEAVY), ("read_heavy", READ_HEAVY)]:
+        record = {"workload": mix_name}
+        for tag, mode, overrides in VARIANTS:
+            ops = _run_variant(tmp_path, tag, mode, overrides, mix)
+            record[tag + "_ops_s"] = ops
+            measured[(mix_name, tag)] = ops
+        record["nvm_vs_none"] = record["nvm_ops_s"] / record["none_ops_s"]
+        record["logsync_vs_none"] = record["log_sync_ops_s"] / record["none_ops_s"]
+        rows_out.append(record)
+
+    experiment_report(
+        format_table(
+            rows_out,
+            title=(
+                f"E3: YCSB throughput by durability mode "
+                f"({RECORDS} records, {OPERATIONS} ops)"
+            ),
+        )
+    )
+
+    # Shape assertions.
+    wh = {t: measured[("write_heavy", t)] for t, _, _ in VARIANTS}
+    assert wh["none"] >= wh["nvm"] * 0.8  # NONE is the ceiling (with noise)
+    assert wh["nvm"] > wh["log_sync"]  # NVM beats synchronous logging
+    assert wh["log_group32"] > wh["log_sync"]  # group commit helps
+    # Read-heavy narrows every gap.
+    rh = {t: measured[("read_heavy", t)] for t, _, _ in VARIANTS}
+    assert rh["log_sync"] / rh["none"] > wh["log_sync"] / wh["none"]
+
+    # Benchmark the NVM variant's write path.
+    db = Database(str(tmp_path / "bench-nvm"), config_for(DurabilityMode.NVM))
+    driver = YcsbDriver(db, YcsbConfig(records=RECORDS, seed=3, **WRITE_HEAVY))
+    driver.load()
+    benchmark.pedantic(lambda: driver.run(100), rounds=3, iterations=1)
+    db.close()

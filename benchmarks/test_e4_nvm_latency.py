@@ -1,0 +1,88 @@
+"""E4 — sensitivity to NVM write latency.
+
+Reconstructed figure: throughput of the NVM engine as simulated NVM
+write latency rises (1x, 2x, 4x, 8x the base device latency), for a
+write-heavy and a read-heavy mix.
+
+Expected shape: write-heavy throughput degrades monotonically with the
+latency multiplier; read-heavy degrades much less (reads are not gated
+on flushes). The injected per-flush latency uses a microsecond scale so
+the effect is visible above the interpreter overhead — constants are
+inflated, the *shape* is preserved (see DESIGN.md substitutions).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.nvm.latency import LatencyModel
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver
+
+from benchmarks.conftest import config_for
+
+MULTIPLIERS = [1, 2, 4, 8]
+BASE_FLUSH_NS = 3_000  # 3 us injected per flush at multiplier 1
+RECORDS = 300
+OPERATIONS = 900
+
+WRITE_HEAVY = dict(read_ratio=0.2, update_ratio=0.6, insert_ratio=0.2)
+READ_HEAVY = dict(read_ratio=0.95, update_ratio=0.05, insert_ratio=0.0)
+
+
+def _throughput(tmp_path, tag: str, multiplier: float, mix: dict) -> tuple[float, float]:
+    latency = LatencyModel(
+        injected_flush_ns=BASE_FLUSH_NS, write_multiplier=multiplier
+    )
+    db = Database(
+        str(tmp_path / f"{tag}-{multiplier}"),
+        config_for(DurabilityMode.NVM, latency=latency),
+    )
+    driver = YcsbDriver(db, YcsbConfig(records=RECORDS, seed=5, **mix))
+    driver.load()
+    result = driver.run(OPERATIONS)
+    modelled_ns = db._pool.stats.modelled_ns()
+    db.close()
+    return result.ops_per_second, modelled_ns
+
+
+def test_e4_latency_sensitivity(tmp_path, experiment_report, benchmark):
+    rows_out = []
+    write_series = []
+    read_series = []
+    for multiplier in MULTIPLIERS:
+        wh_ops, wh_model = _throughput(tmp_path, "wh", multiplier, WRITE_HEAVY)
+        rh_ops, _ = _throughput(tmp_path, "rh", multiplier, READ_HEAVY)
+        write_series.append(wh_ops)
+        read_series.append(rh_ops)
+        rows_out.append(
+            {
+                "latency_multiplier": multiplier,
+                "write_heavy_ops_s": wh_ops,
+                "read_heavy_ops_s": rh_ops,
+                "modelled_nvm_ms": wh_model / 1e6,
+            }
+        )
+
+    report = format_table(
+        rows_out, title="E4: throughput vs simulated NVM write latency"
+    )
+    report += "\n" + format_series("write_heavy", MULTIPLIERS, write_series)
+    report += "\n" + format_series("read_heavy", MULTIPLIERS, read_series)
+    experiment_report(report)
+
+    # Shape assertions.
+    # 1. Write-heavy throughput strictly suffers at 8x vs 1x.
+    assert write_series[-1] < write_series[0] * 0.8
+    # 2. Read-heavy is less sensitive than write-heavy.
+    write_drop = write_series[-1] / write_series[0]
+    read_drop = read_series[-1] / read_series[0]
+    assert read_drop > write_drop
+
+    benchmark.pedantic(
+        lambda: _throughput(tmp_path, "bench", 4, WRITE_HEAVY),
+        rounds=3,
+        iterations=1,
+    )

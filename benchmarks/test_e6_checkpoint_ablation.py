@@ -1,0 +1,103 @@
+"""E6 — checkpointing ablation: restart cost vs transaction history.
+
+Reconstructed figure: the log-based engine's restart time as a function
+of the number of committed transactions since startup, with and without
+a checkpoint, against the NVM engine.
+
+Expected shape: log-only replay grows linearly with *history length*
+(every transaction is replayed); a checkpoint bounds the replay to the
+tail and makes restart proportional to *data* instead; NVM stays flat
+regardless of either.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.query.predicate import Eq
+from repro.workloads.generator import RowGenerator
+
+from benchmarks.conftest import config_for, time_restart
+
+HISTORY = [500, 1_000, 2_000, 4_000]
+
+
+def _run_history(path, cfg, txns: int, checkpoint: bool):
+    """Commit ``txns`` single-row transactions (plus updates) and close."""
+    db = Database(path, cfg)
+    gen = RowGenerator(seed=13)
+    db.create_table("events", RowGenerator.SCHEMA)
+    for i in range(txns):
+        with db.begin() as txn:
+            txn.insert("events", gen.row())
+            if i % 5 == 4:
+                refs = txn.query("events", Eq("id", i - 2)).refs()
+                if refs:
+                    txn.update("events", refs[0], {"quantity": 1})
+    if checkpoint:
+        db.checkpoint()
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def prepared(tmp_path_factory):
+    base = tmp_path_factory.mktemp("e6")
+    points = {}
+    for txns in HISTORY:
+        for tag, mode, checkpoint, overrides in [
+            ("log_only", DurabilityMode.LOG, False, {"group_commit_size": 0}),
+            ("log_ckpt", DurabilityMode.LOG, True, {"group_commit_size": 0}),
+            ("nvm", DurabilityMode.NVM, False, {}),
+        ]:
+            path = str(base / f"{tag}-{txns}")
+            cfg = config_for(mode, **overrides)
+            _run_history(path, cfg, txns, checkpoint)
+            points[(tag, txns)] = (path, cfg)
+    return points
+
+
+def test_e6_restart_vs_history(prepared, experiment_report, benchmark):
+    rows_out = []
+    series = {"log_only": [], "log_ckpt": [], "nvm": []}
+    for txns in HISTORY:
+        record = {"committed_txns": txns}
+        for tag in series:
+            path, cfg = prepared[(tag, txns)]
+            seconds, db = time_restart(path, cfg)
+            record[f"{tag}_s"] = seconds
+            record[f"{tag}_replayed"] = db.last_recovery.log_records_replayed
+            series[tag].append(seconds)
+            db.close()
+        rows_out.append(record)
+
+    report = format_table(
+        rows_out,
+        columns=[
+            "committed_txns",
+            "log_only_s",
+            "log_only_replayed",
+            "log_ckpt_s",
+            "log_ckpt_replayed",
+            "nvm_s",
+        ],
+        title="E6: restart time vs transaction history",
+    )
+    report += "\n" + format_series("log_only", HISTORY, series["log_only"])
+    report += "\n" + format_series("nvm", HISTORY, series["nvm"])
+    experiment_report(report)
+
+    # Shape assertions.
+    # 1. Log-only replay grows with history.
+    assert series["log_only"][-1] > series["log_only"][0] * 3
+    # 2. A checkpoint removes the replay tail entirely here.
+    assert rows_out[-1]["log_ckpt_replayed"] == 0
+    assert series["log_ckpt"][-1] < series["log_only"][-1]
+    # 3. NVM is flat and fastest.
+    assert series["nvm"][-1] < series["log_ckpt"][-1]
+    assert series["nvm"][-1] < series["nvm"][0] * 5 + 0.05
+
+    path, cfg = prepared[("nvm", HISTORY[-1])]
+    benchmark.pedantic(lambda: Database(path, cfg).close(), rounds=5, iterations=1)

@@ -1,0 +1,116 @@
+"""E7 — design ablation: persistent vs volatile delta index structures.
+
+DESIGN.md decision 4/5: Hyrise-NV keeps index *data* on NVM; the delta
+dictionary lookup hash and delta index can either live on NVM too
+(attach instantly, pay flushes per insert) or stay volatile (free
+inserts, O(delta) rebuild on first use after restart).
+
+Expected shape: the persistent variant makes the first post-restart
+indexed query cheap and independent of delta size, while the volatile
+variant's first query grows with the delta; conversely the persistent
+variant inserts more slowly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.query.predicate import Eq
+from repro.workloads.generator import RowGenerator
+
+from benchmarks.conftest import config_for
+
+DELTA_SIZES = [5_000, 20_000]
+
+
+def _build(path, persistent: bool, rows: int):
+    cfg = config_for(
+        DurabilityMode.NVM,
+        persistent_delta_index=persistent,
+        persistent_dict_index=persistent,
+    )
+    db = Database(path, cfg)
+    gen = RowGenerator(seed=31)
+    db.create_table("events", RowGenerator.SCHEMA)
+    db.create_index("events", "id")
+    start = time.perf_counter()
+    db.bulk_insert("events", gen.rows(rows))
+    load_seconds = time.perf_counter() - start
+    db.close()
+    return cfg, load_seconds
+
+
+def test_e7_persistent_vs_volatile_delta_index(
+    tmp_path, experiment_report, benchmark
+):
+    rows_out = []
+    first_query = {}
+    for rows in DELTA_SIZES:
+        for persistent in (False, True):
+            tag = "persistent" if persistent else "volatile"
+            path = str(tmp_path / f"{tag}-{rows}")
+            cfg, load_seconds = _build(path, persistent, rows)
+
+            start = time.perf_counter()
+            db = Database(path, cfg)
+            restart_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            count = db.query("events", Eq("id", rows // 2)).count
+            first_query_ms = (time.perf_counter() - start) * 1e3
+            assert count == 1
+
+            start = time.perf_counter()
+            db.query("events", Eq("id", rows // 3)).count
+            second_query_ms = (time.perf_counter() - start) * 1e3
+            db.close()
+
+            first_query[(tag, rows)] = first_query_ms
+            rows_out.append(
+                {
+                    "delta_rows": rows,
+                    "delta_index": tag,
+                    "load_s": load_seconds,
+                    "restart_s": restart_seconds,
+                    "first_query_ms": first_query_ms,
+                    "second_query_ms": second_query_ms,
+                }
+            )
+
+    experiment_report(
+        format_table(
+            rows_out, title="E7: persistent vs volatile delta index (NVM mode)"
+        )
+    )
+
+    # Shape assertions.
+    big = DELTA_SIZES[-1]
+    # 1. Volatile pays an O(delta) rebuild on the first post-restart query.
+    assert first_query[("volatile", big)] > first_query[("persistent", big)] * 2
+    # 2. The volatile rebuild cost grows with delta size.
+    assert (
+        first_query[("volatile", big)]
+        > first_query[("volatile", DELTA_SIZES[0])]
+    )
+    # 3. Warm (second) queries are fast for both variants.
+    for row in rows_out:
+        assert row["second_query_ms"] < row["first_query_ms"] + 5.0
+
+    # Benchmark a persistent-index insert stream (the maintenance cost).
+    path = str(tmp_path / "bench")
+    cfg = config_for(
+        DurabilityMode.NVM, persistent_delta_index=True, persistent_dict_index=True
+    )
+    db = Database(path, cfg)
+    gen = RowGenerator(seed=41)
+    db.create_table("events", RowGenerator.SCHEMA)
+    db.create_index("events", "id")
+    benchmark.pedantic(
+        lambda: db.bulk_insert("events", gen.rows(500)), rounds=3, iterations=1
+    )
+    db.close()

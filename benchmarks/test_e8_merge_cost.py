@@ -1,0 +1,84 @@
+"""E8 — merge cost vs delta size (supporting ablation).
+
+The instant-restart design leans on keeping the delta small: the
+volatile delta-dictionary lookups are rebuilt from it (E7), and scans
+slow down as it grows (E5). The merge is the tool that bounds it — this
+experiment measures what that tool costs.
+
+Expected shape: merge duration grows roughly linearly with the number of
+rows merged (main + delta survivors), and the NVM backend pays a
+constant factor over DRAM for flushing the new generation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.reporting import format_series, format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.workloads.generator import RowGenerator
+
+from benchmarks.conftest import config_for
+
+DELTA_SIZES = [5_000, 10_000, 20_000, 40_000]
+
+
+def _merge_seconds(tmp_path, mode: DurabilityMode, delta_rows: int) -> float:
+    db = Database(
+        str(tmp_path / f"{mode.value}-{delta_rows}"),
+        config_for(mode, checkpoint_after_merge=False),
+    )
+    gen = RowGenerator(seed=51)
+    db.create_table("events", RowGenerator.SCHEMA)
+    db.bulk_insert("events", gen.rows(delta_rows))
+    start = time.perf_counter()
+    db.merge("events")
+    elapsed = time.perf_counter() - start
+    assert db.table("events").main_row_count == delta_rows
+    db.close()
+    return elapsed
+
+
+def test_e8_merge_cost(tmp_path, experiment_report, benchmark):
+    rows_out = []
+    nvm_series = []
+    dram_series = []
+    for delta_rows in DELTA_SIZES:
+        nvm_s = _merge_seconds(tmp_path, DurabilityMode.NVM, delta_rows)
+        dram_s = _merge_seconds(tmp_path, DurabilityMode.NONE, delta_rows)
+        nvm_series.append(nvm_s)
+        dram_series.append(dram_s)
+        rows_out.append(
+            {
+                "rows_merged": delta_rows,
+                "nvm_merge_s": nvm_s,
+                "dram_merge_s": dram_s,
+                "nvm_overhead_x": nvm_s / dram_s,
+                "nvm_us_per_row": nvm_s / delta_rows * 1e6,
+            }
+        )
+
+    report = format_table(rows_out, title="E8: merge cost vs rows merged")
+    report += "\n" + format_series("nvm", DELTA_SIZES, nvm_series)
+    experiment_report(report)
+
+    # Shape assertions.
+    # 1. Merge cost grows with data (roughly linear: 8x rows -> >= 3x time).
+    assert nvm_series[-1] > nvm_series[0] * 3
+    # 2. NVM pays a bounded constant factor over DRAM.
+    worst = max(r["nvm_overhead_x"] for r in rows_out)
+    assert worst < 20
+
+    # Benchmark one representative merge (NVM, mid size). Each round uses
+    # a fresh directory because pools cannot be re-created in place.
+    counter = iter(range(100))
+
+    def one_merge():
+        return _merge_seconds(
+            tmp_path / f"bench-{next(counter)}", DurabilityMode.NVM, 5_000
+        )
+
+    benchmark.pedantic(one_merge, rounds=3, iterations=1)

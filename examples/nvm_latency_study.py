@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""NVM latency study: how slower persistent memory changes throughput.
+
+Sweeps the simulated NVM write latency (1x .. 8x the base device) for a
+write-heavy and a read-heavy YCSB-style mix, printing the series the
+paper's latency-sensitivity figure reports. Also prints the modelled
+NVM time from the pool's access accounting, which is hardware-agnostic.
+
+Run with::
+
+    python examples/nvm_latency_study.py
+"""
+
+import shutil
+import tempfile
+
+from repro import Database, DurabilityMode, EngineConfig
+from repro.bench.reporting import format_table
+from repro.nvm.latency import LatencyModel
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver
+
+MULTIPLIERS = [1, 2, 4, 8]
+MIXES = {
+    "write_heavy": dict(read_ratio=0.2, update_ratio=0.6, insert_ratio=0.2),
+    "read_heavy": dict(read_ratio=0.95, update_ratio=0.05, insert_ratio=0.0),
+}
+
+
+def run_point(multiplier: float, mix: dict) -> dict:
+    latency = LatencyModel(injected_flush_ns=3_000, write_multiplier=multiplier)
+    path = tempfile.mkdtemp(prefix="nvm-latency-")
+    db = Database(
+        path, EngineConfig(mode=DurabilityMode.NVM, latency=latency)
+    )
+    driver = YcsbDriver(db, YcsbConfig(records=300, seed=5, **mix))
+    driver.load()
+    result = driver.run(800)
+    stats = db._pool.stats
+    out = {
+        "ops_s": result.ops_per_second,
+        "flushes": stats.flush_calls,
+        "modelled_ms": stats.modelled_ns() / 1e6,
+    }
+    db.close()
+    shutil.rmtree(path)
+    return out
+
+
+def main() -> None:
+    rows = []
+    for multiplier in MULTIPLIERS:
+        record = {"multiplier": f"{multiplier}x"}
+        for mix_name, mix in MIXES.items():
+            point = run_point(multiplier, mix)
+            record[f"{mix_name}_ops_s"] = point["ops_s"]
+            if mix_name == "write_heavy":
+                record["flushes"] = point["flushes"]
+                record["modelled_ms"] = point["modelled_ms"]
+        rows.append(record)
+
+    print(format_table(rows, title="Throughput vs simulated NVM write latency"))
+    base = rows[0]["write_heavy_ops_s"]
+    worst = rows[-1]["write_heavy_ops_s"]
+    print(
+        f"\nwrite-heavy throughput at 8x latency: "
+        f"{worst / base:.0%} of the 1x baseline"
+    )
+    print(
+        "read-heavy barely moves — reads are not gated on cache-line "
+        "flushes, matching the paper's asymmetric-latency discussion."
+    )
+
+
+if __name__ == "__main__":
+    main()

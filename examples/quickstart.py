@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Quickstart: create an NVM-backed database, transact, restart, query.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import shutil
+import tempfile
+
+from repro import (
+    Between,
+    DataType,
+    Database,
+    DurabilityMode,
+    EngineConfig,
+    Eq,
+    aggregate,
+)
+
+
+def main() -> None:
+    path = tempfile.mkdtemp(prefix="hyrise-nv-quickstart-")
+    config = EngineConfig(mode=DurabilityMode.NVM)
+    db = Database(path, config)
+
+    # --- DDL -----------------------------------------------------------
+    db.create_table(
+        "products",
+        {
+            "sku": DataType.INT64,
+            "name": DataType.STRING,
+            "category": DataType.STRING,
+            "price": DataType.FLOAT64,
+        },
+    )
+    db.create_index("products", "sku")
+
+    # --- Writes --------------------------------------------------------
+    # Autocommit helper for single rows:
+    db.insert("products", {"sku": 1, "name": "anvil", "category": "tools", "price": 99.0})
+
+    # Multi-statement transaction (commits on clean exit):
+    with db.begin() as txn:
+        txn.insert("products", {"sku": 2, "name": "rope", "category": "tools", "price": 9.5})
+        txn.insert("products", {"sku": 3, "name": "tent", "category": "camping", "price": 120.0})
+
+    # Bulk load (one atomic batch):
+    db.bulk_insert(
+        "products",
+        [
+            {"sku": 100 + i, "name": f"widget-{i}", "category": "widgets", "price": 1.0 + i}
+            for i in range(50)
+        ],
+    )
+
+    # Insert-only MVCC update: the old version is invalidated, a new one inserted.
+    with db.begin() as txn:
+        ref = txn.query("products", Eq("sku", 2)).refs()[0]
+        txn.update("products", ref, {"price": 12.0})
+
+    # --- Queries ---------------------------------------------------------
+    print("rope now costs:", db.query("products", Eq("sku", 2)).column("price"))
+    cheap = db.query("products", Between("price", 1.0, 10.0))
+    print("products under 10:", cheap.count)
+    by_category = aggregate(db.query("products"), "avg", "price", group_by="category")
+    print("average price by category:", by_category)
+
+    # --- Instant restart -------------------------------------------------
+    db = db.restart()
+    report = db.last_recovery
+    print(
+        f"restarted in {report.total_seconds * 1e3:.2f} ms "
+        f"(phases: {dict((k, round(v, 6)) for k, v in report.phases)})"
+    )
+    print("rows after restart:", db.query("products").count)
+
+    db.close()
+    shutil.rmtree(path)
+
+
+if __name__ == "__main__":
+    main()

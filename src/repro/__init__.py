@@ -1,0 +1,77 @@
+"""Hyrise-NV reproduction.
+
+A columnar in-memory storage engine whose durability comes from
+(simulated) byte-addressable non-volatile memory, reproducing
+*"Leveraging non-volatile memory for instant restarts of in-memory
+database systems"* (Schwalb et al., ICDE 2016), together with the
+log-based baseline it is compared against.
+
+Public entry points::
+
+    from repro import (
+        Database, EngineConfig, DurabilityMode, DataType, Schema,
+        Eq, Lt, Between, ...,
+    )
+"""
+
+from repro.core import Database, DurabilityMode, EngineConfig, Transaction
+from repro.storage import ColumnDef, DataType, Schema
+from repro.query import (
+    And,
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotNull,
+    Or,
+    Predicate,
+    aggregate,
+    anti_join,
+    hash_join,
+    order_by,
+    scan,
+    semi_join,
+    top_k,
+)
+from repro.txn import TransactionConflict, TransactionError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "And",
+    "Between",
+    "ColumnDef",
+    "DataType",
+    "Database",
+    "DurabilityMode",
+    "EngineConfig",
+    "Eq",
+    "Ge",
+    "Gt",
+    "In",
+    "IsNull",
+    "Le",
+    "Lt",
+    "Ne",
+    "Not",
+    "NotNull",
+    "Or",
+    "Predicate",
+    "Schema",
+    "Transaction",
+    "TransactionConflict",
+    "TransactionError",
+    "aggregate",
+    "anti_join",
+    "hash_join",
+    "order_by",
+    "scan",
+    "semi_join",
+    "top_k",
+]

@@ -1,0 +1,15 @@
+"""Benchmark harness utilities: timing, sweeps, table reporting."""
+
+from repro.bench.harness import Timer, measure_seconds, median_of
+from repro.bench.reporting import format_series, format_table, print_table
+from repro.bench.sweep import sweep
+
+__all__ = [
+    "Timer",
+    "format_series",
+    "format_table",
+    "measure_seconds",
+    "median_of",
+    "print_table",
+    "sweep",
+]

@@ -1,0 +1,34 @@
+"""Timing helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Callable
+
+
+class Timer:
+    """Context manager measuring wall time in seconds."""
+
+    def __init__(self):
+        self.seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.seconds = time.perf_counter() - self._start
+
+
+def measure_seconds(fn: Callable[[], object]) -> float:
+    """Wall time of one call."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def median_of(fn: Callable[[], float], trials: int = 3) -> float:
+    """Median of ``trials`` runs of a function returning a measurement."""
+    return statistics.median(fn() for _ in range(trials))

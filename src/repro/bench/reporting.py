@@ -1,0 +1,66 @@
+"""Plain-text experiment reporting.
+
+Each benchmark prints the same rows/series the paper's figure or table
+reports, so paper-vs-measured comparison (EXPERIMENTS.md) is a matter of
+reading the output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict], columns: Optional[Sequence[str]] = None, title: str = ""
+) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    else:
+        columns = list(columns)
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[dict], columns: Optional[Sequence[str]] = None, title: str = ""
+) -> None:
+    """Print :func:`format_table` output preceded by a blank line."""
+    print()
+    print(format_table(rows, columns, title))
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence) -> str:
+    """Render one figure series as ``name: (x, y) ...`` pairs."""
+    pairs = ", ".join(f"({_fmt(x)}, {_fmt(y)})" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"

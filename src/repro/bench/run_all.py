@@ -1,0 +1,288 @@
+"""Standalone experiment runner: regenerate every table/figure without pytest.
+
+Usage::
+
+    python -m repro.bench.run_all [--quick] [--only E1,E3] [--out report.md]
+
+Runs the same experiments as ``pytest benchmarks/ --benchmark-only``
+(E1–E7) in-process and prints/saves the result tables. ``--quick``
+shrinks sweeps by ~4x for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import tempfile
+import time
+
+from repro.bench.reporting import format_table
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.nvm.latency import LatencyModel
+from repro.query.predicate import Between, Eq
+from repro.workloads.generator import RowGenerator, WideRowGenerator
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver
+
+
+def _config(mode: DurabilityMode, **overrides) -> EngineConfig:
+    defaults = dict(mode=mode, extent_size=8 * 1024 * 1024)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def _build_wide(path: str, mode: DurabilityMode, rows: int, checkpoint: bool):
+    cfg = _config(mode)
+    db = Database(path, cfg)
+    gen = WideRowGenerator(seed=11)
+    db.create_table("wide", {c.name: c.dtype for c in gen.schema})
+    remaining = rows
+    while remaining > 0:
+        db.bulk_insert("wide", gen.rows(min(5000, remaining)))
+        remaining -= 5000
+    if checkpoint and mode is DurabilityMode.LOG:
+        db.checkpoint()
+    db.close()
+    return cfg
+
+
+def _timed_open(path: str, cfg: EngineConfig):
+    start = time.perf_counter()
+    db = Database(path, cfg)
+    return time.perf_counter() - start, db
+
+
+def run_e1(quick: bool) -> str:
+    sizes = [4_000, 16_000] if quick else [4_000, 8_000, 16_000, 32_000, 64_000]
+    rows_out = []
+    base = tempfile.mkdtemp(prefix="e1-")
+    try:
+        for rows in sizes:
+            record = {"rows": rows}
+            for tag, mode, ckpt in [
+                ("log_replay", DurabilityMode.LOG, False),
+                ("log_checkpoint", DurabilityMode.LOG, True),
+                ("nvm", DurabilityMode.NVM, False),
+            ]:
+                path = f"{base}/{tag}-{rows}"
+                cfg = _build_wide(path, mode, rows, ckpt)
+                seconds, db = _timed_open(path, cfg)
+                db.close()
+                record[f"{tag}_s"] = seconds
+            record["speedup"] = record["log_replay_s"] / record["nvm_s"]
+            rows_out.append(record)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return format_table(rows_out, title="E1: restart time vs dataset size")
+
+
+def run_e2(quick: bool) -> str:
+    rows = 8_000 if quick else 30_000
+    base = tempfile.mkdtemp(prefix="e2-")
+    rows_out = []
+    try:
+        for tag, mode, ckpt in [
+            ("log_replay", DurabilityMode.LOG, False),
+            ("log_checkpoint", DurabilityMode.LOG, True),
+            ("nvm", DurabilityMode.NVM, False),
+        ]:
+            path = f"{base}/{tag}"
+            cfg = _build_wide(path, mode, rows, ckpt)
+            total, db = _timed_open(path, cfg)
+            record = {"mode": tag, "total_s": total}
+            for phase, seconds in db.last_recovery.phases:
+                record[phase + "_s"] = seconds
+            rows_out.append(record)
+            db.close()
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return format_table(rows_out, title=f"E2: recovery breakdown ({rows} rows)")
+
+
+def run_e3(quick: bool) -> str:
+    operations = 400 if quick else 1200
+    mixes = {
+        "write_heavy": dict(read_ratio=0.2, update_ratio=0.6, insert_ratio=0.2),
+        "read_heavy": dict(read_ratio=0.9, update_ratio=0.05, insert_ratio=0.05),
+    }
+    rows_out = []
+    for mix_name, mix in mixes.items():
+        record = {"workload": mix_name}
+        for tag, mode, overrides in [
+            ("none", DurabilityMode.NONE, {}),
+            ("nvm", DurabilityMode.NVM, {}),
+            ("log_sync", DurabilityMode.LOG, {"group_commit_size": 1}),
+            ("log_group32", DurabilityMode.LOG, {"group_commit_size": 32}),
+        ]:
+            path = tempfile.mkdtemp(prefix="e3-")
+            db = Database(path, _config(mode, **overrides))
+            driver = YcsbDriver(db, YcsbConfig(records=400, seed=7, **mix))
+            driver.load()
+            record[f"{tag}_ops_s"] = driver.run(operations).ops_per_second
+            db.close()
+            shutil.rmtree(path, ignore_errors=True)
+        rows_out.append(record)
+    return format_table(rows_out, title="E3: throughput by durability mode")
+
+
+def run_e4(quick: bool) -> str:
+    multipliers = [1, 4] if quick else [1, 2, 4, 8]
+    operations = 300 if quick else 900
+    rows_out = []
+    for multiplier in multipliers:
+        record = {"latency_multiplier": multiplier}
+        for mix_name, mix in [
+            ("write_heavy", dict(read_ratio=0.2, update_ratio=0.6, insert_ratio=0.2)),
+            ("read_heavy", dict(read_ratio=0.95, update_ratio=0.05, insert_ratio=0.0)),
+        ]:
+            path = tempfile.mkdtemp(prefix="e4-")
+            latency = LatencyModel(injected_flush_ns=3000, write_multiplier=multiplier)
+            db = Database(path, _config(DurabilityMode.NVM, latency=latency))
+            driver = YcsbDriver(db, YcsbConfig(records=300, seed=5, **mix))
+            driver.load()
+            record[f"{mix_name}_ops_s"] = driver.run(operations).ops_per_second
+            db.close()
+            shutil.rmtree(path, ignore_errors=True)
+        rows_out.append(record)
+    return format_table(rows_out, title="E4: throughput vs NVM write latency")
+
+
+def run_e5(quick: bool) -> str:
+    main_rows = 10_000 if quick else 40_000
+    steps = [0, main_rows // 4, main_rows // 2]
+    path = tempfile.mkdtemp(prefix="e5-")
+    rows_out = []
+    try:
+        db = Database(path, _config(DurabilityMode.NVM))
+        gen = RowGenerator(seed=21)
+        db.create_table("events", RowGenerator.SCHEMA)
+        db.create_index("events", "id")
+        db.bulk_insert("events", gen.rows(main_rows))
+        db.merge("events")
+        predicate = Between("quantity", 10, 40)
+        filled = 0
+
+        def scan_ms() -> float:
+            start = time.perf_counter()
+            db.query("events", predicate).count
+            return (time.perf_counter() - start) * 1e3
+
+        for target in steps:
+            if target > filled:
+                db.bulk_insert("events", gen.rows(target - filled))
+                filled = target
+            rows_out.append({"state": f"delta={target}", "range_scan_ms": scan_ms()})
+        db.merge("events")
+        rows_out.append({"state": "after merge", "range_scan_ms": scan_ms()})
+        db.close()
+    finally:
+        shutil.rmtree(path, ignore_errors=True)
+    return format_table(rows_out, title=f"E5: scan latency vs delta fill (main={main_rows})")
+
+
+def run_e6(quick: bool) -> str:
+    history = [250, 1000] if quick else [500, 1000, 2000, 4000]
+    base = tempfile.mkdtemp(prefix="e6-")
+    rows_out = []
+    try:
+        for txns in history:
+            record = {"committed_txns": txns}
+            for tag, mode, ckpt, overrides in [
+                ("log_only", DurabilityMode.LOG, False, {"group_commit_size": 0}),
+                ("log_ckpt", DurabilityMode.LOG, True, {"group_commit_size": 0}),
+                ("nvm", DurabilityMode.NVM, False, {}),
+            ]:
+                path = f"{base}/{tag}-{txns}"
+                cfg = _config(mode, **overrides)
+                db = Database(path, cfg)
+                gen = RowGenerator(seed=13)
+                db.create_table("events", RowGenerator.SCHEMA)
+                for _ in range(txns):
+                    db.insert("events", gen.row())
+                if ckpt:
+                    db.checkpoint()
+                db.close()
+                seconds, db = _timed_open(path, cfg)
+                db.close()
+                record[f"{tag}_s"] = seconds
+            rows_out.append(record)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return format_table(rows_out, title="E6: restart time vs transaction history")
+
+
+def run_e7(quick: bool) -> str:
+    sizes = [2_000] if quick else [5_000, 20_000]
+    rows_out = []
+    for rows in sizes:
+        for persistent in (False, True):
+            tag = "persistent" if persistent else "volatile"
+            path = tempfile.mkdtemp(prefix="e7-")
+            cfg = _config(
+                DurabilityMode.NVM,
+                persistent_delta_index=persistent,
+                persistent_dict_index=persistent,
+            )
+            db = Database(path, cfg)
+            gen = RowGenerator(seed=31)
+            db.create_table("events", RowGenerator.SCHEMA)
+            db.create_index("events", "id")
+            db.bulk_insert("events", gen.rows(rows))
+            db.close()
+            restart_s, db = _timed_open(path, cfg)
+            start = time.perf_counter()
+            db.query("events", Eq("id", rows // 2)).count
+            first_query_ms = (time.perf_counter() - start) * 1e3
+            db.close()
+            shutil.rmtree(path, ignore_errors=True)
+            rows_out.append(
+                {
+                    "delta_rows": rows,
+                    "delta_index": tag,
+                    "restart_s": restart_s,
+                    "first_query_ms": first_query_ms,
+                }
+            )
+    return format_table(rows_out, title="E7: persistent vs volatile delta index")
+
+
+EXPERIMENTS = {
+    "E1": run_e1,
+    "E2": run_e2,
+    "E3": run_e3,
+    "E4": run_e4,
+    "E5": run_e5,
+    "E6": run_e6,
+    "E7": run_e7,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="shrink sweeps ~4x")
+    parser.add_argument(
+        "--only", default="", help="comma-separated experiment ids (e.g. E1,E3)"
+    )
+    parser.add_argument("--out", default="", help="also write the report here")
+    args = parser.parse_args(argv)
+
+    wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()]
+    sections = []
+    for name, runner in EXPERIMENTS.items():
+        if wanted and name not in wanted:
+            continue
+        start = time.perf_counter()
+        table = runner(args.quick)
+        elapsed = time.perf_counter() - start
+        sections.append(table + f"\n({name} ran in {elapsed:.1f}s)")
+        print()
+        print(sections[-1])
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write("\n\n".join(sections) + "\n")
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

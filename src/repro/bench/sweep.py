@@ -1,0 +1,19 @@
+"""Parameter sweeps producing experiment rows."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+
+def sweep(
+    parameter: str,
+    values: Iterable,
+    run: Callable[[object], dict],
+) -> list[dict]:
+    """Run ``run(value)`` per value; each result row records the value."""
+    rows = []
+    for value in values:
+        row = {parameter: value}
+        row.update(run(value))
+        rows.append(row)
+    return rows

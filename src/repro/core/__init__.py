@@ -1,0 +1,6 @@
+"""Engine facade: configuration, database lifecycle, transactions."""
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database, Transaction
+
+__all__ = ["Database", "DurabilityMode", "EngineConfig", "Transaction"]

@@ -1,0 +1,69 @@
+"""Engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+from repro.nvm.latency import LatencyModel
+from repro.nvm.pool import PMemMode
+
+
+class DurabilityMode(Enum):
+    """How the engine survives restarts.
+
+    * ``NVM`` — Hyrise-NV: all table, MVCC, and index structures live on
+      (simulated) non-volatile memory; restart is a fix-up pass over the
+      transaction table.
+    * ``LOG`` — classic baseline: DRAM structures + write-ahead log +
+      checkpoints; restart replays.
+    * ``NONE`` — DRAM only, no durability; the lower bound for runtime
+      overhead comparisons.
+    """
+
+    NVM = "nvm"
+    LOG = "log"
+    NONE = "none"
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for a :class:`~repro.core.database.Database`.
+
+    Defaults reproduce the paper's primary configuration (NVM mode,
+    synchronous commit for the log baseline).
+    """
+
+    mode: DurabilityMode = DurabilityMode.NVM
+    #: Size of each pmem extent file (NVM mode).
+    extent_size: int = 64 * 1024 * 1024
+    #: STRICT enables cache-line crash simulation (tests); FAST for speed.
+    pmem_mode: PMemMode = PMemMode.FAST
+    #: NVM latency model; None = default (no injected delays).
+    latency: Optional[LatencyModel] = None
+    #: Commits per fsync in LOG mode (1 = sync commit, 0 = async).
+    group_commit_size: int = 1
+    #: Transaction-table slots (max concurrent transactions).
+    txn_slots: int = 256
+    #: Keep delta dictionary lookup structures on NVM (ablation E7).
+    persistent_dict_index: bool = False
+    #: Default for new secondary indexes' delta half (ablation E7).
+    persistent_delta_index: bool = False
+    #: LOG mode: write a checkpoint right after every merge (required for
+    #: rowref stability across restarts; disable only in experiments that
+    #: never merge).
+    checkpoint_after_merge: bool = True
+    #: Merge a table automatically once its delta exceeds this many rows
+    #: (checked after commits while no other transaction is active).
+    #: None disables auto-merging.
+    auto_merge_rows: Optional[int] = None
+
+    def validated(self) -> "EngineConfig":
+        if self.group_commit_size < 0:
+            raise ValueError("group_commit_size must be >= 0")
+        if self.txn_slots < 1:
+            raise ValueError("txn_slots must be >= 1")
+        if self.mode is not DurabilityMode.NVM and self.persistent_dict_index:
+            raise ValueError("persistent_dict_index requires NVM mode")
+        return self

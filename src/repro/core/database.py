@@ -1,0 +1,659 @@
+"""The engine facade: open a database, run transactions, survive restarts.
+
+``Database`` wires together one durability mode's worth of substrates:
+
+========  =====================  ==========================  =================
+mode      storage backend        durability                  restart cost
+========  =====================  ==========================  =================
+``NVM``   pmem pool              in-place persistent         O(in-flight txns)
+``LOG``   DRAM                   WAL + checkpoints           O(data + log)
+``NONE``  DRAM                   none                        n/a (data lost)
+========  =====================  ==========================  =================
+
+Typical usage::
+
+    from repro import Database, EngineConfig, DurabilityMode, DataType
+
+    db = Database("/tmp/shop", EngineConfig(mode=DurabilityMode.NVM))
+    db.create_table("items", {"id": DataType.INT64, "name": DataType.STRING})
+    with db.begin() as txn:
+        txn.insert("items", {"id": 1, "name": "anvil"})
+    print(db.query("items").rows())
+    db = db.restart()            # instant — survives a crash, too
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.nvm_catalog import NvmCatalog
+from repro.index.table_index import TableIndex
+from repro.nvm.pool import PMemPool
+from repro.query.predicate import Eq, IsNull, Predicate
+from repro.query.scan import ScanResult, scan
+from repro.recovery.nvm_recovery import recover_nvm
+from repro.recovery.log_recovery import recover_log
+from repro.recovery.report import PhaseTimer, RecoveryReport
+from repro.storage.backend import NvmBackend, VolatileBackend
+from repro.storage.schema import ColumnDef, Schema
+from repro.storage.table import Table, unpack_rowref
+from repro.storage.merge import merge_table
+from repro.storage.types import DataType
+from repro.txn.context import TransactionContext
+from repro.txn.manager import (
+    TransactionManager,
+    VolatileCidStore,
+    VolatileTidAllocator,
+)
+from repro.txn.txn_table import VolatileTxnTable
+from repro.wal.checkpoint import CheckpointData, snapshot_table, write_checkpoint
+from repro.wal.writer import LogWriter
+
+SchemaLike = Union[Schema, dict]
+
+
+def _coerce_schema(schema: SchemaLike) -> Schema:
+    if isinstance(schema, Schema):
+        return schema
+    return Schema([ColumnDef(name, dtype) for name, dtype in schema.items()])
+
+
+class Transaction:
+    """Public transaction handle (wraps the MVCC context).
+
+    Usable as a context manager: commits on clean exit, aborts on
+    exception.
+    """
+
+    def __init__(self, db: "Database", ctx: TransactionContext):
+        self._db = db
+        self.ctx = ctx
+
+    @property
+    def tid(self) -> int:
+        return self.ctx.tid
+
+    @property
+    def is_active(self) -> bool:
+        return self.ctx.is_active
+
+    def insert(self, table_name: str, row: dict) -> int:
+        """Insert a {column: value} row; returns its rowref."""
+        table = self._db.table(table_name)
+        ref = self._db._manager.insert_row(self.ctx, table, row)
+        self._db._index_new_row(table, ref)
+        return ref
+
+    def update(self, table_name: str, ref: int, changes: dict) -> int:
+        """Update a row (insert-only MVCC); returns the new version's ref."""
+        table = self._db.table(table_name)
+        new_ref = self._db._manager.update(self.ctx, table, ref, changes)
+        self._db._index_new_row(table, new_ref)
+        return new_ref
+
+    def delete(self, table_name: str, ref: int) -> None:
+        """Delete (invalidate) a visible row."""
+        table = self._db.table(table_name)
+        self._db._manager.invalidate(self.ctx, table, ref)
+
+    def query(
+        self, table_name: str, predicate: Optional[Predicate] = None
+    ) -> ScanResult:
+        """Scan within this transaction's snapshot (sees own writes)."""
+        table = self._db.table(table_name)
+        index = self._db._pick_index(table, predicate)
+        return scan(table, predicate=predicate, ctx=self.ctx, index=index)
+
+    def commit(self) -> Optional[int]:
+        """Commit; returns the commit id (None when read-only)."""
+        touched = {table_id for _, table_id, _ in self.ctx.ops}
+        cid = self._db._manager.commit(self.ctx)
+        self._db._maybe_auto_merge(touched)
+        return cid
+
+    def abort(self) -> None:
+        self._db._manager.abort(self.ctx)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.ctx.is_active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class Database:
+    """One database instance bound to a directory on disk."""
+
+    def __init__(self, path: str, config: Optional[EngineConfig] = None):
+        self.path = path
+        self.config = (config or EngineConfig()).validated()
+        self.mode = self.config.mode
+        self._tables_by_id: dict[int, Table] = {}
+        self._tables_by_name: dict[str, Table] = {}
+        self._indexes: dict[int, dict[str, TableIndex]] = {}
+        self._closed = False
+        self._pool: Optional[PMemPool] = None
+        self._catalog: Optional[NvmCatalog] = None
+        self._wal: Optional[LogWriter] = None
+        self.last_recovery: Optional[RecoveryReport] = None
+        os.makedirs(path, exist_ok=True)
+        if self.mode is DurabilityMode.NVM:
+            self._open_nvm()
+        elif self.mode is DurabilityMode.LOG:
+            self._open_log()
+        else:
+            self._open_none()
+
+    # ------------------------------------------------------------------
+    # Opening / recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def _pool_dir(self) -> str:
+        return os.path.join(self.path, "pmem")
+
+    @property
+    def _log_path(self) -> str:
+        return os.path.join(self.path, "wal.log")
+
+    @property
+    def _checkpoint_path(self) -> str:
+        return os.path.join(self.path, "checkpoint.ckpt")
+
+    @property
+    def _meta_path(self) -> str:
+        return os.path.join(self.path, "meta.json")
+
+    def _open_nvm(self) -> None:
+        report = RecoveryReport(mode="nvm")
+        cfg = self.config
+        with PhaseTimer(report, "pool_open"):
+            if PMemPool.exists(self._pool_dir):
+                self._pool = PMemPool.open(
+                    self._pool_dir, mode=cfg.pmem_mode, latency=cfg.latency
+                )
+                fresh = False
+            else:
+                self._pool = PMemPool.create(
+                    self._pool_dir,
+                    extent_size=cfg.extent_size,
+                    mode=cfg.pmem_mode,
+                    latency=cfg.latency,
+                )
+                fresh = True
+        self.backend = NvmBackend(self._pool)
+        with PhaseTimer(report, "catalog_attach"):
+            if fresh:
+                self._catalog = NvmCatalog.format(
+                    self._pool, self.backend, cfg.txn_slots
+                )
+            else:
+                self._catalog = NvmCatalog.attach(self._pool, self.backend)
+            txn_table = self._catalog.txn_table()
+            cids = self._catalog.cid_store()
+            tids = self._catalog.tid_allocator()
+            for table, indexes, _flag in self._catalog.attach_tables():
+                self._register(table, indexes)
+        fixup = recover_nvm(txn_table, cids, self._table_by_id)
+        report.phases.extend(fixup.phases)
+        report.txns_rolled_back = fixup.txns_rolled_back
+        report.txns_rolled_forward = fixup.txns_rolled_forward
+        report.tables = len(self._tables_by_id)
+        self._pool.mark_opened()
+        self._manager = TransactionManager(
+            txn_table, cids, tids, self._table_by_id, wal=None
+        )
+        self.last_recovery = report
+
+    def _open_log(self) -> None:
+        self.backend = VolatileBackend()
+        tables, last_cid, next_table_id, _lsn, report = recover_log(
+            self._checkpoint_path, self._log_path, self.backend
+        )
+        max_tid = 0
+        for table in tables.values():
+            self._register(table, {})
+        # New tids must not collide with tids of transactions that are
+        # still parsable in the log tail.
+        from repro.wal.reader import read_log
+        from repro.wal.records import InsertRecord, InvalidateRecord
+
+        start = 0
+        if os.path.exists(self._checkpoint_path):
+            from repro.wal.checkpoint import read_checkpoint
+
+            start = read_checkpoint(self._checkpoint_path).lsn
+        for record, _ in read_log(self._log_path, start):
+            tid = getattr(record, "tid", 0)
+            max_tid = max(max_tid, tid)
+        self._next_table_id = next_table_id
+        self._wal = LogWriter(self._log_path, self.config.group_commit_size)
+        self._manager = TransactionManager(
+            VolatileTxnTable(self.config.txn_slots),
+            VolatileCidStore(last_cid),
+            VolatileTidAllocator(max_tid + 1),
+            self._table_by_id,
+            wal=self._wal,
+        )
+        with PhaseTimer(report, "index_rebuild"):
+            self._rebuild_declared_indexes()
+        report.tables = len(self._tables_by_id)
+        self.last_recovery = report
+
+    def _open_none(self) -> None:
+        self.backend = VolatileBackend()
+        self._next_table_id = 1
+        self._manager = TransactionManager(
+            VolatileTxnTable(self.config.txn_slots),
+            VolatileCidStore(),
+            VolatileTidAllocator(),
+            self._table_by_id,
+            wal=None,
+        )
+        self.last_recovery = RecoveryReport(mode="none")
+
+    def _rebuild_declared_indexes(self) -> None:
+        """LOG mode: recreate the indexes declared in meta.json."""
+        if not os.path.exists(self._meta_path):
+            return
+        with open(self._meta_path) as f:
+            meta = json.load(f)
+        for table_name, columns in meta.get("indexes", {}).items():
+            if table_name not in self._tables_by_name:
+                continue
+            for column in columns:
+                self._build_index(self.table(table_name), column, False)
+
+    # ------------------------------------------------------------------
+    # Registry helpers
+    # ------------------------------------------------------------------
+
+    def _register(self, table: Table, indexes: dict[str, TableIndex]) -> None:
+        self._tables_by_id[table.table_id] = table
+        self._tables_by_name[table.name] = table
+        self._indexes[table.table_id] = indexes
+
+    def _table_by_id(self, table_id: int) -> Table:
+        return self._tables_by_id[table_id]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name."""
+        try:
+            return self._tables_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no table {name!r}; have {sorted(self._tables_by_name)}"
+            ) from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return sorted(self._tables_by_name)
+
+    @property
+    def last_cid(self) -> int:
+        return self._manager.last_cid
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def create_table(self, name: str, schema: SchemaLike) -> Table:
+        """Create a table; the definition is immediately durable."""
+        if name in self._tables_by_name:
+            raise ValueError(f"table {name!r} already exists")
+        schema = _coerce_schema(schema)
+        if self.mode is DurabilityMode.NVM:
+            table_id = self._catalog.next_table_id
+            table = Table.create(
+                table_id,
+                name,
+                schema,
+                self.backend,
+                persistent_dict_index=self.config.persistent_dict_index,
+            )
+            self._catalog.register_table(
+                table, {}, self.config.persistent_dict_index
+            )
+        else:
+            table_id = self._next_table_id
+            self._next_table_id += 1
+            table = Table.create(table_id, name, schema, self.backend)
+            if self._wal is not None:
+                self._wal.log_create_table(table_id, name, schema.to_bytes())
+        self._register(table, {})
+        return table
+
+    def create_index(self, table_name: str, column: str) -> TableIndex:
+        """Create (and durably declare) a secondary index."""
+        table = self.table(table_name)
+        if column in self._indexes[table.table_id]:
+            raise ValueError(f"index on {table_name}.{column} already exists")
+        persistent_delta = (
+            self.mode is DurabilityMode.NVM and self.config.persistent_delta_index
+        )
+        index = self._build_index(table, column, persistent_delta)
+        if self.mode is DurabilityMode.NVM:
+            self._catalog.publish_content(table, self._indexes[table.table_id])
+        elif self.mode is DurabilityMode.LOG:
+            self._save_meta()
+        return index
+
+    def _build_index(
+        self, table: Table, column: str, persistent_delta: bool
+    ) -> TableIndex:
+        index = TableIndex.build(
+            self.backend, table, column, persistent_delta=persistent_delta
+        )
+        self._indexes[table.table_id][column] = index
+        return index
+
+    def _save_meta(self) -> None:
+        meta = {
+            "indexes": {
+                self._tables_by_id[tid].name: sorted(cols)
+                for tid, cols in self._indexes.items()
+                if cols
+            }
+        }
+        tmp = self._meta_path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(meta, f)
+        os.replace(tmp, self._meta_path)
+
+    def indexes_on(self, table_name: str) -> dict[str, TableIndex]:
+        """The index registry for one table."""
+        return self._indexes[self.table(table_name).table_id]
+
+    def drop_table(self, name: str) -> None:
+        """Durably drop a table (quiesced only).
+
+        On NVM the catalog entry is tombstoned with one atomic flags
+        store; in LOG mode a drop record is synced to the log.
+        """
+        if self._manager.active_count:
+            raise RuntimeError("cannot drop a table with active transactions")
+        table = self.table(name)
+        if self.mode is DurabilityMode.NVM:
+            self._catalog.mark_dropped(table.table_id)
+        elif self._wal is not None:
+            self._wal.log_drop_table(table.table_id)
+        del self._tables_by_name[name]
+        del self._tables_by_id[table.table_id]
+        self._indexes.pop(table.table_id, None)
+        if self.mode is DurabilityMode.LOG:
+            self._save_meta()
+
+    # ------------------------------------------------------------------
+    # Transactions and queries
+    # ------------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction."""
+        return Transaction(self, self._manager.begin())
+
+    def _index_new_row(self, table: Table, ref: int) -> None:
+        indexes = self._indexes.get(table.table_id)
+        if not indexes:
+            return
+        is_delta, row = unpack_rowref(ref)
+        assert is_delta, "new rows always land in the delta"
+        for column, index in indexes.items():
+            col = table.schema.column_index(column)
+            index.on_insert(table.delta.get_code(col, row), row)
+
+    def _pick_index(
+        self, table: Table, predicate: Optional[Predicate]
+    ) -> Optional[TableIndex]:
+        from repro.query.scan import _index_applicable
+
+        if predicate is None:
+            return None
+        for index in self._indexes[table.table_id].values():
+            if _index_applicable(index, predicate):
+                return index
+        return None
+
+    def query(
+        self, table_name: str, predicate: Optional[Predicate] = None
+    ) -> ScanResult:
+        """Non-transactional scan of the latest committed state."""
+        table = self.table(table_name)
+        index = self._pick_index(table, predicate)
+        return scan(
+            table,
+            snapshot_cid=self._manager.last_cid,
+            predicate=predicate,
+            index=index,
+        )
+
+    def insert(self, table_name: str, row: dict) -> int:
+        """Autocommit single-row insert; returns the rowref."""
+        txn = self.begin()
+        ref = txn.insert(table_name, row)
+        txn.commit()
+        return ref
+
+    def _maybe_auto_merge(self, table_ids) -> None:
+        threshold = self.config.auto_merge_rows
+        if not threshold or self._manager.active_count:
+            return
+        for table_id in table_ids:
+            table = self._tables_by_id.get(table_id)
+            if table is not None and table.delta_row_count >= threshold:
+                self.merge(table.name)
+
+    def bulk_insert(self, table_name: str, rows: Sequence[dict]) -> int:
+        """Load many rows in one committed batch (the fast loader path).
+
+        On NVM the batch publishes atomically via the begin-vector store;
+        in LOG mode every row is logged and the commit record is synced.
+        Returns the commit id.
+        """
+        table = self.table(table_name)
+        if not rows:
+            return self._manager.last_cid
+        schema = table.schema
+        value_rows = [schema.validate_row(row) for row in rows]
+        encoded = [table.delta.encode_row(values) for values in value_rows]
+        columns = [
+            np.fromiter(
+                (codes[ci] for codes in encoded), dtype=np.uint32, count=len(encoded)
+            )
+            for ci in range(len(schema))
+        ]
+        cid = self._manager.last_cid + 1
+        if self._wal is not None:
+            tid = self._manager._tids.next()
+            for values in value_rows:
+                self._wal.log_insert(tid, table.table_id, values)
+            self._wal.log_commit(tid, cid)
+        first = table.delta.bulk_load(columns, begin_cid=cid)
+        self._manager._cids.advance(cid)
+        indexes = self._indexes.get(table.table_id)
+        if indexes:
+            for column, index in indexes.items():
+                ci = schema.column_index(column)
+                for offset in range(len(rows)):
+                    index.on_insert(int(columns[ci][offset]), first + offset)
+        self._maybe_auto_merge({table.table_id})
+        return cid
+
+    # ------------------------------------------------------------------
+    # Maintenance: merge and checkpoint
+    # ------------------------------------------------------------------
+
+    def merge(self, table_name: str) -> None:
+        """Fold the delta into a new main generation (quiesced only)."""
+        if self._manager.active_count:
+            raise RuntimeError(
+                f"cannot merge with {self._manager.active_count} active txns"
+            )
+        table = self.table(table_name)
+        new_main, new_delta = merge_table(table, self.backend)
+        old_indexes = self._indexes[table.table_id]
+        table.main = new_main
+        table.delta = new_delta
+        table.generation += 1
+        new_indexes = {
+            column: TableIndex.build(
+                self.backend,
+                table,
+                column,
+                persistent_delta=not old.delta_index.needs_rebuild_after_restart,
+            )
+            for column, old in old_indexes.items()
+        }
+        self._indexes[table.table_id] = new_indexes
+        if self.mode is DurabilityMode.NVM:
+            self._catalog.publish_content(table, new_indexes)
+        elif self.mode is DurabilityMode.LOG and self.config.checkpoint_after_merge:
+            self.checkpoint()
+
+    def checkpoint(self) -> int:
+        """LOG mode: write a full snapshot; returns bytes written."""
+        if self.mode is not DurabilityMode.LOG:
+            raise RuntimeError("checkpoints only apply to LOG mode")
+        if self._manager.active_count:
+            raise RuntimeError("cannot checkpoint with active transactions")
+        assert self._wal is not None
+        self._wal.sync()
+        data = CheckpointData(
+            last_cid=self._manager.last_cid,
+            lsn=self._wal.lsn,
+            next_table_id=self._next_table_id,
+            tables=[
+                snapshot_table(t) for t in self._tables_by_id.values()
+            ],
+        )
+        return write_checkpoint(data, self._checkpoint_path)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Orderly shutdown (marks the pool clean / syncs the log)."""
+        if self._closed:
+            return
+        if self._pool is not None:
+            self._pool.close(clean=True)
+        if self._wal is not None:
+            self._wal.close()
+        self._closed = True
+
+    def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
+        """Simulate a power failure (unflushed state is lost)."""
+        if self._closed:
+            return
+        if self._pool is not None:
+            self._pool.crash(survivor_fraction=survivor_fraction, seed=seed)
+        if self._wal is not None:
+            self._wal.crash()
+        self._closed = True
+
+    def restart(self, config: Optional[EngineConfig] = None) -> "Database":
+        """Close (cleanly) and reopen; returns the new instance."""
+        self.close()
+        return Database(self.path, config or self.config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def verify(self) -> list[str]:
+        """Run the consistency validator over every table.
+
+        Returns a list of invariant violations (empty when consistent) —
+        the same checks the failure-injection tests apply after every
+        simulated crash.
+        """
+        from repro.recovery.validator import validate_database
+
+        return validate_database(
+            self._tables_by_id.values(), self._manager.last_cid
+        )
+
+    def stats(self) -> dict:
+        """Engine statistics for reports and benchmarks."""
+        out = {
+            "mode": self.mode.value,
+            "tables": {
+                name: table.stats() for name, table in self._tables_by_name.items()
+            },
+            "commits": self._manager.commits,
+            "aborts": self._manager.aborts,
+            "conflicts": self._manager.conflicts,
+            "last_cid": self._manager.last_cid,
+        }
+        if self._pool is not None:
+            out["nvm"] = self._pool.stats.snapshot()
+        if self._wal is not None:
+            out["wal"] = {
+                "records": self._wal.records_written,
+                "syncs": self._wal.syncs,
+                "bytes": self._wal.bytes_written,
+            }
+        return out
+
+    def memory_report(self) -> dict:
+        """Bytes held per table, broken down by structure kind.
+
+        Covers column payloads (dictionary values, code vectors, packed
+        words), MVCC columns, and index structures that expose sizes.
+        Blob-heap payloads (string values) are reported separately per
+        backend, not per table.
+        """
+        report: dict = {}
+        for name, table in self._tables_by_name.items():
+            delta = table.delta
+            main = table.main
+            entry = {
+                "main_packed": sum(c.words.nbytes for c in main.columns),
+                "main_dictionaries": sum(
+                    c.dictionary.values.nbytes for c in main.columns
+                ),
+                "main_mvcc": (
+                    main.mvcc.begin.nbytes
+                    + main.mvcc.end.nbytes
+                    + main.mvcc.tid.nbytes
+                ),
+                "delta_codes": sum(v.nbytes for v in delta.code_vectors),
+                "delta_dictionaries": sum(
+                    d.values.nbytes for d in delta.dictionaries
+                ),
+                "delta_mvcc": (
+                    delta.mvcc.begin.nbytes
+                    + delta.mvcc.end.nbytes
+                    + delta.mvcc.tid.nbytes
+                ),
+                "indexes": sum(
+                    idx.memory_bytes()
+                    for idx in self._indexes[table.table_id].values()
+                ),
+            }
+            entry["total"] = sum(entry.values())
+            report[name] = entry
+        return report
+
+    def logical_bytes(self) -> int:
+        """Approximate logical dataset size (decoded values)."""
+        total = 0
+        for table in self._tables_by_id.values():
+            rows = table.row_count
+            for col in table.schema:
+                if col.dtype in (DataType.INT64, DataType.FLOAT64):
+                    total += rows * 8
+                else:
+                    total += rows * 16  # rough average string payload
+        return total

@@ -1,0 +1,29 @@
+"""Secondary indexes.
+
+Hyrise indexes each partition separately:
+
+* :class:`GroupKeyIndex` — a CSR-style (offsets + positions) index over
+  the main partition's dictionary codes, rebuilt at every merge. On NVM
+  it is persisted with the main generation, so restarts attach it
+  without any rebuild.
+* Delta indexes map dictionary codes to delta row positions and are
+  maintained per insert. The volatile variant must be rebuilt after a
+  restart (O(delta)); the persistent variant
+  (:class:`PersistentDeltaIndex`, experiment E7) attaches instantly.
+"""
+
+from repro.index.groupkey import GroupKeyIndex
+from repro.index.delta_index import (
+    DeltaIndex,
+    PersistentDeltaIndex,
+    VolatileDeltaIndex,
+)
+from repro.index.table_index import TableIndex
+
+__all__ = [
+    "DeltaIndex",
+    "GroupKeyIndex",
+    "PersistentDeltaIndex",
+    "TableIndex",
+    "VolatileDeltaIndex",
+]

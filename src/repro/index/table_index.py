@@ -1,0 +1,181 @@
+"""Composite per-table index: group-key over main + delta index.
+
+One :class:`TableIndex` covers one column of one table. The group-key
+half is regenerated at every merge (it indexes an immutable main
+generation); the delta half is maintained per insert.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.index.delta_index import (
+    DeltaIndex,
+    PersistentDeltaIndex,
+    VolatileDeltaIndex,
+)
+from repro.index.groupkey import GroupKeyIndex
+from repro.storage.backend import Backend, NvmBackend
+from repro.storage.table import Table, pack_rowref
+from repro.storage.types import NULL_CODE
+
+
+class TableIndex:
+    """Index over ``column`` of ``table`` spanning both partitions."""
+
+    def __init__(
+        self,
+        column: str,
+        group_key: GroupKeyIndex,
+        delta_index: DeltaIndex,
+    ):
+        self.column = column
+        self.group_key = group_key
+        self.delta_index = delta_index
+        self._delta_synced_rows = 0
+
+    @classmethod
+    def build(
+        cls,
+        backend: Backend,
+        table: Table,
+        column: str,
+        persistent_delta: bool = False,
+    ) -> "TableIndex":
+        """Create and populate an index for an existing table."""
+        col = table.schema.column_index(column)
+        group_key = GroupKeyIndex.build(backend, table.main.columns[col])
+        if persistent_delta:
+            if not isinstance(backend, NvmBackend):
+                raise ValueError("persistent delta index requires NVM backend")
+            delta_index: DeltaIndex = PersistentDeltaIndex.create(backend)
+        else:
+            delta_index = VolatileDeltaIndex()
+        out = cls(column, group_key, delta_index)
+        out.delta_index.rebuild(table.delta, col)
+        out._delta_synced_rows = table.delta.row_count
+        if isinstance(delta_index, PersistentDeltaIndex):
+            # rebuild() is a no-op for the persistent variant; populate
+            # explicitly when indexing a table that already has delta rows.
+            for position, code in enumerate(table.delta.column_codes(col)):
+                delta_index.add(int(code), position)
+        return out
+
+    def on_insert(self, code: int, position: int) -> None:
+        """Maintain the delta half after a row publishes."""
+        self.delta_index.add(code, position)
+        self._delta_synced_rows = max(self._delta_synced_rows, position + 1)
+
+    def ensure_delta_current(self, table: Table) -> None:
+        """Rebuild the delta half if a restart left it stale."""
+        col = table.schema.column_index(self.column)
+        if (
+            self.delta_index.needs_rebuild_after_restart
+            and self._delta_synced_rows < table.delta.row_count
+        ):
+            self.delta_index.rebuild(table.delta, col)
+            self._delta_synced_rows = table.delta.row_count
+
+    # ------------------------------------------------------------------
+    # Lookups (positions only; visibility filtering happens in the scan)
+    # ------------------------------------------------------------------
+
+    def probe_equal(self, table: Table, value) -> list[int]:
+        """Packed rowrefs of candidate rows with ``column == value``."""
+        col = table.schema.column_index(self.column)
+        self.ensure_delta_current(table)
+        refs: list[int] = []
+        if value is not None:
+            main_code = table.main.columns[col].dictionary.code_of(value)
+            if main_code is not None:
+                refs.extend(
+                    pack_rowref(False, int(p))
+                    for p in self.group_key.lookup(main_code)
+                )
+            delta_code = table.delta.dictionaries[col].code_of(value)
+            if delta_code is not None:
+                positions = self.delta_index.lookup(delta_code)
+                limit = table.delta.row_count
+                refs.extend(
+                    pack_rowref(True, int(p)) for p in positions if p < limit
+                )
+        return refs
+
+    def probe_range(
+        self,
+        table: Table,
+        low=None,
+        high=None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> list[int]:
+        """Packed rowrefs of candidates with ``column`` in the range.
+
+        ``None`` bounds are open. On main this is one contiguous
+        positions slice (codes are dictionary-ordered); on the delta the
+        range is evaluated per distinct value (the dictionary is
+        unsorted), then each matching code's positions are collected.
+        NULLs never match a range.
+        """
+        col = table.schema.column_index(self.column)
+        self.ensure_delta_current(table)
+        refs: list[int] = []
+
+        main_dict = table.main.columns[col].dictionary
+        code_lo = 0
+        code_hi = len(main_dict)
+        if low is not None:
+            code_lo = (
+                main_dict.lower_bound(low) if include_low else main_dict.upper_bound(low)
+            )
+        if high is not None:
+            code_hi = (
+                main_dict.upper_bound(high) if include_high else main_dict.lower_bound(high)
+            )
+        refs.extend(
+            pack_rowref(False, int(p))
+            for p in self.group_key.lookup_range(code_lo, code_hi)
+        )
+
+        def in_range(value) -> bool:
+            if low is not None:
+                if value < low or (value == low and not include_low):
+                    return False
+            if high is not None:
+                if value > high or (value == high and not include_high):
+                    return False
+            return True
+
+        delta = table.delta
+        limit = delta.row_count
+        for code, value in enumerate(delta.dictionaries[col].values_list()):
+            if in_range(value):
+                refs.extend(
+                    pack_rowref(True, int(p))
+                    for p in self.delta_index.lookup(code)
+                    if p < limit
+                )
+        return refs
+
+    def probe_null(self, table: Table) -> list[int]:
+        """Packed rowrefs of candidate rows with ``column IS NULL``."""
+        col = table.schema.column_index(self.column)
+        self.ensure_delta_current(table)
+        main_col = table.main.columns[col]
+        refs = [
+            pack_rowref(False, int(p))
+            for p in self.group_key.lookup(main_col.null_code)
+        ]
+        self.ensure_delta_current(table)
+        limit = table.delta.row_count
+        refs.extend(
+            pack_rowref(True, int(p))
+            for p in self.delta_index.lookup(NULL_CODE)
+            if p < limit
+        )
+        return refs
+
+    def memory_bytes(self) -> int:
+        return self.group_key.memory_bytes()

@@ -1,0 +1,57 @@
+"""Size-class free-list allocator layered over the pool bump allocator.
+
+The pool itself only bump-allocates (with a persisted high-water mark,
+which is what crash safety needs). Long-running engines also recycle
+space — most importantly the old main-partition arenas discarded by each
+merge. :class:`ArenaAllocator` adds volatile per-size-class free lists on
+top: blocks freed in a session are reused in that session. Blocks freed
+but not reused are leaked by a crash, which is safe (never handed out
+twice) and bounded (the next merge reuses or re-leaks the same space);
+the paper's engine accepts the same trade-off by re-deriving allocator
+state on recovery.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.nvm.pool import CACHE_LINE, PMemPool
+
+
+def size_class(nbytes: int) -> int:
+    """Round a request up to its size class (next power of two >= 64)."""
+    if nbytes <= CACHE_LINE:
+        return CACHE_LINE
+    return 1 << (nbytes - 1).bit_length()
+
+
+class ArenaAllocator:
+    """Recycling allocator for pool blocks.
+
+    All blocks are rounded to power-of-two size classes so a freed block
+    can satisfy any later request of the same class.
+    """
+
+    def __init__(self, pool: PMemPool):
+        self._pool = pool
+        self._free: dict[int, list[int]] = defaultdict(list)
+        self.reused_blocks = 0
+        self.freed_blocks = 0
+
+    def allocate(self, nbytes: int) -> int:
+        """Return the pool offset of a block of at least ``nbytes``."""
+        cls = size_class(nbytes)
+        bucket = self._free.get(cls)
+        if bucket:
+            self.reused_blocks += 1
+            return bucket.pop()
+        return self._pool.allocate(cls)
+
+    def free(self, offset: int, nbytes: int) -> None:
+        """Return a block to its size-class free list (volatile)."""
+        self._free[size_class(nbytes)].append(offset)
+        self.freed_blocks += 1
+
+    def free_bytes_cached(self) -> int:
+        """Total bytes currently sitting on free lists."""
+        return sum(cls * len(blocks) for cls, blocks in self._free.items())

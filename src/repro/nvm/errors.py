@@ -1,0 +1,17 @@
+"""Exception hierarchy for the NVM substrate."""
+
+
+class NvmError(Exception):
+    """Base class for all NVM substrate errors."""
+
+
+class PoolFullError(NvmError):
+    """Raised when an allocation does not fit in the remaining pool space."""
+
+
+class PoolCorruptError(NvmError):
+    """Raised when a pool file fails magic/version/bounds validation."""
+
+
+class PoolModeError(NvmError):
+    """Raised when an operation is invalid for the pool's current mode."""

@@ -1,0 +1,457 @@
+"""Persistent memory pool backed by memory-mapped files.
+
+A :class:`PMemPool` models an NVDIMM exposed to the application as a
+contiguous byte-addressable address space. The pool is stored as a
+directory of fixed-size *extent* files, each memory-mapped; a global pool
+offset addresses into ``extent[offset // extent_size]``. Extents let the
+pool grow without remapping (and therefore without invalidating numpy
+views handed out to scan operators).
+
+The persistence semantics mirror real hardware:
+
+* stores land in the (volatile) CPU cache and are **not durable** until
+  the covering cache lines are flushed (``flush``) and a persist barrier
+  (``drain``) has completed;
+* aligned 8-byte stores are atomic — a crash never tears them;
+* in ``STRICT`` mode the pool snapshots the pre-image of every dirtied
+  cache line and :meth:`crash` reverts lines that were never flushed,
+  which makes the engine's consistency protocol falsifiable in tests.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from enum import Enum
+from mmap import mmap
+from typing import Optional
+
+import numpy as np
+
+from repro.nvm.errors import PoolCorruptError, PoolFullError, PoolModeError
+from repro.nvm.latency import LatencyModel, NvmStats, busy_wait_ns
+
+CACHE_LINE = 64
+
+_MAGIC = 0x48595249_53454E56  # "HYRISENV"
+_VERSION = 1
+
+# Header layout (all u64, little endian), stored at offset 0 of extent 0.
+_OFF_MAGIC = 0
+_OFF_VERSION = 8
+_OFF_EXTENT_SIZE = 16
+_OFF_NUM_EXTENTS = 24
+_OFF_ALLOC_HEAD = 32
+_OFF_ROOT = 40
+_OFF_CLEAN = 48
+
+HEADER_SIZE = 256
+
+_DEFAULT_EXTENT_SIZE = 64 * 1024 * 1024
+
+
+class PMemMode(Enum):
+    """Persistence checking mode for a pool.
+
+    ``FAST`` skips cache-line tracking (stores are treated as durable the
+    moment they are written); benchmarks use it. ``STRICT`` tracks dirty
+    cache lines and lets :meth:`PMemPool.crash` discard unflushed stores;
+    failure-injection tests use it.
+    """
+
+    FAST = "fast"
+    STRICT = "strict"
+
+
+def _extent_path(directory: str, index: int) -> str:
+    return os.path.join(directory, f"extent_{index:04d}.pm")
+
+
+class PMemPool:
+    """A growable pool of simulated persistent memory.
+
+    Use :meth:`create` for a fresh pool and :meth:`open` to attach to an
+    existing one (e.g. after a restart or simulated crash). All mutation
+    must go through :meth:`write` / :meth:`write_u64` / :meth:`write_array`
+    so that strict-mode tracking and accounting stay correct; numpy views
+    returned by :meth:`view` are read-only.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        extent_size: int,
+        mode: PMemMode,
+        latency: Optional[LatencyModel],
+        _creating: bool,
+    ):
+        self._directory = directory
+        self._extent_size = extent_size
+        self._mode = mode
+        self._maps: list[mmap] = []
+        self._files: list = []
+        self._undo: dict[int, bytes] = {}
+        self._closed = False
+        self.stats = NvmStats(model=latency or LatencyModel())
+        if _creating:
+            self._add_extent()
+            self._format_header()
+        else:
+            self._attach_extents()
+            self._validate_header()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str,
+        extent_size: int = _DEFAULT_EXTENT_SIZE,
+        mode: PMemMode = PMemMode.FAST,
+        latency: Optional[LatencyModel] = None,
+    ) -> "PMemPool":
+        """Format a new pool in ``directory`` (created if missing)."""
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(_extent_path(directory, 0)):
+            raise PoolModeError(f"pool already exists at {directory}")
+        if extent_size % CACHE_LINE != 0 or extent_size < 1024 * 1024:
+            raise ValueError("extent_size must be a multiple of 64 and >= 1 MiB")
+        return cls(directory, extent_size, mode, latency, _creating=True)
+
+    @classmethod
+    def open(
+        cls,
+        directory: str,
+        mode: PMemMode = PMemMode.FAST,
+        latency: Optional[LatencyModel] = None,
+    ) -> "PMemPool":
+        """Attach to an existing pool. Raises if the pool is missing/corrupt."""
+        path0 = _extent_path(directory, 0)
+        if not os.path.exists(path0):
+            raise PoolCorruptError(f"no pool at {directory}")
+        # Extent size is read from the header after mapping extent 0.
+        size0 = os.path.getsize(path0)
+        pool = cls(directory, size0, mode, latency, _creating=False)
+        return pool
+
+    @classmethod
+    def exists(cls, directory: str) -> bool:
+        """True when ``directory`` holds a formatted pool."""
+        return os.path.exists(_extent_path(directory, 0))
+
+    def _add_extent(self) -> None:
+        index = len(self._maps)
+        path = _extent_path(self._directory, index)
+        f = open(path, "w+b")
+        f.truncate(self._extent_size)
+        m = mmap(f.fileno(), self._extent_size)
+        self._files.append(f)
+        self._maps.append(m)
+
+    def _attach_extents(self) -> None:
+        index = 0
+        while os.path.exists(_extent_path(self._directory, index)):
+            path = _extent_path(self._directory, index)
+            f = open(path, "r+b")
+            size = os.path.getsize(path)
+            m = mmap(f.fileno(), size)
+            self._files.append(f)
+            self._maps.append(m)
+            index += 1
+        if not self._maps:
+            raise PoolCorruptError(f"no extents in {self._directory}")
+        self._extent_size = int.from_bytes(
+            self._maps[0][_OFF_EXTENT_SIZE : _OFF_EXTENT_SIZE + 8], "little"
+        )
+
+    def _format_header(self) -> None:
+        self._raw_write_u64(_OFF_MAGIC, _MAGIC)
+        self._raw_write_u64(_OFF_VERSION, _VERSION)
+        self._raw_write_u64(_OFF_EXTENT_SIZE, self._extent_size)
+        self._raw_write_u64(_OFF_NUM_EXTENTS, 1)
+        self._raw_write_u64(_OFF_ALLOC_HEAD, HEADER_SIZE)
+        self._raw_write_u64(_OFF_ROOT, 0)
+        self._raw_write_u64(_OFF_CLEAN, 0)
+        self._maps[0].flush()
+
+    def _validate_header(self) -> None:
+        if self._raw_read_u64(_OFF_MAGIC) != _MAGIC:
+            raise PoolCorruptError("bad magic — not a pmem pool")
+        if self._raw_read_u64(_OFF_VERSION) != _VERSION:
+            raise PoolCorruptError("unsupported pool version")
+        num_extents = self._raw_read_u64(_OFF_NUM_EXTENTS)
+        if num_extents != len(self._maps):
+            raise PoolCorruptError(
+                f"header records {num_extents} extents, found {len(self._maps)}"
+            )
+
+    def close(self, clean: bool = True) -> None:
+        """Detach from the pool.
+
+        ``clean=True`` marks an orderly shutdown (no recovery fix-up
+        needed on next open); ``clean=False`` leaves the flag unset, as a
+        kill -9 would.
+        """
+        if self._closed:
+            return
+        if clean:
+            self.write_u64(_OFF_CLEAN, 1)
+            self.persist(_OFF_CLEAN, 8)
+        for m in self._maps:
+            m.flush()
+            m.close()
+        for f in self._files:
+            f.close()
+        self._maps = []
+        self._files = []
+        self._closed = True
+
+    def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
+        """Simulate a power failure.
+
+        Unflushed dirty cache lines are reverted to their last durable
+        content. ``survivor_fraction`` lets each unflushed line survive
+        independently with the given probability — real hardware may
+        write back any subset of dirty lines at any time, so recovery
+        must tolerate every value in [0, 1]. Only meaningful in
+        ``STRICT`` mode; in ``FAST`` mode every store is already treated
+        as durable (``survivor_fraction == 1.0`` behaviour).
+        """
+        if self._closed:
+            raise PoolModeError("pool is closed")
+        if self._mode is PMemMode.STRICT and self._undo:
+            rng = random.Random(seed)
+            for line_off, pre_image in self._undo.items():
+                if survivor_fraction > 0.0 and rng.random() < survivor_fraction:
+                    continue
+                self._raw_write(line_off, pre_image)
+            self._undo.clear()
+        self.close(clean=False)
+
+    @property
+    def was_clean_shutdown(self) -> bool:
+        """True when the previous session closed with ``clean=True``."""
+        return self._raw_read_u64(_OFF_CLEAN) == 1
+
+    def mark_opened(self) -> None:
+        """Clear the clean-shutdown flag at the start of a session."""
+        self.write_u64(_OFF_CLEAN, 0)
+        self.persist(_OFF_CLEAN, 8)
+
+    @property
+    def mode(self) -> PMemMode:
+        return self._mode
+
+    @property
+    def size(self) -> int:
+        """Total pool capacity in bytes across all extents."""
+        return self._extent_size * len(self._maps)
+
+    @property
+    def extent_size(self) -> int:
+        return self._extent_size
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    # ------------------------------------------------------------------
+    # Raw access (no tracking/accounting) — header bootstrap only
+    # ------------------------------------------------------------------
+
+    def _locate(self, offset: int, length: int) -> tuple[mmap, int]:
+        ext = offset // self._extent_size
+        local = offset % self._extent_size
+        if ext >= len(self._maps):
+            raise PoolCorruptError(f"offset {offset} beyond pool end")
+        if local + length > self._extent_size:
+            raise PoolModeError(
+                f"access [{offset}, {offset + length}) spans extent boundary"
+            )
+        return self._maps[ext], local
+
+    def _raw_read(self, offset: int, length: int) -> bytes:
+        m, local = self._locate(offset, length)
+        return bytes(m[local : local + length])
+
+    def _raw_write(self, offset: int, data: bytes) -> None:
+        m, local = self._locate(offset, len(data))
+        m[local : local + len(data)] = data
+
+    def _raw_read_u64(self, offset: int) -> int:
+        return int.from_bytes(self._raw_read(offset, 8), "little")
+
+    def _raw_write_u64(self, offset: int, value: int) -> None:
+        self._raw_write(offset, value.to_bytes(8, "little"))
+
+    # ------------------------------------------------------------------
+    # Tracked reads and writes
+    # ------------------------------------------------------------------
+
+    def _snapshot_lines(self, offset: int, length: int) -> None:
+        first = (offset // CACHE_LINE) * CACHE_LINE
+        last = ((offset + length - 1) // CACHE_LINE) * CACHE_LINE
+        undo = self._undo
+        for line in range(first, last + CACHE_LINE, CACHE_LINE):
+            if line not in undo:
+                undo[line] = self._raw_read(line, CACHE_LINE)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes at ``offset``."""
+        self.stats.bytes_read += length
+        return self._raw_read(offset, length)
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Store ``data`` at ``offset`` (volatile until flushed)."""
+        if self._mode is PMemMode.STRICT:
+            self._snapshot_lines(offset, len(data))
+        self.stats.bytes_written += len(data)
+        self._raw_write(offset, data)
+
+    def read_u64(self, offset: int) -> int:
+        self.stats.bytes_read += 8
+        return self._raw_read_u64(offset)
+
+    def write_u64(self, offset: int, value: int) -> None:
+        """Aligned 8-byte store — atomic with respect to crashes."""
+        if offset % 8 != 0:
+            raise PoolModeError(f"unaligned u64 store at {offset}")
+        self.write(offset, value.to_bytes(8, "little"))
+
+    def read_u32(self, offset: int) -> int:
+        self.stats.bytes_read += 4
+        return int.from_bytes(self._raw_read(offset, 4), "little")
+
+    def write_u32(self, offset: int, value: int) -> None:
+        if offset % 4 != 0:
+            raise PoolModeError(f"unaligned u32 store at {offset}")
+        self.write(offset, value.to_bytes(4, "little"))
+
+    def read_i64(self, offset: int) -> int:
+        self.stats.bytes_read += 8
+        return int.from_bytes(self._raw_read(offset, 8), "little", signed=True)
+
+    def write_i64(self, offset: int, value: int) -> None:
+        if offset % 8 != 0:
+            raise PoolModeError(f"unaligned i64 store at {offset}")
+        self.write(offset, value.to_bytes(8, "little", signed=True))
+
+    def write_array(self, offset: int, array: np.ndarray) -> None:
+        """Bulk store of a contiguous numpy array."""
+        self.write(offset, np.ascontiguousarray(array).tobytes())
+
+    def read_array(self, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+        """Read ``count`` items as a fresh (copied) numpy array."""
+        dtype = np.dtype(dtype)
+        data = self.read(offset, dtype.itemsize * count)
+        return np.frombuffer(data, dtype=dtype).copy()
+
+    def view(self, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+        """Zero-copy, read-only numpy view over pool memory.
+
+        Views stay valid for the life of the pool because extents are
+        never remapped. Accounting charges the full extent of the view as
+        read traffic once, at creation.
+        """
+        dtype = np.dtype(dtype)
+        length = dtype.itemsize * count
+        m, local = self._locate(offset, length)
+        self.stats.bytes_read += length
+        arr = np.frombuffer(memoryview(m), dtype=dtype, count=count, offset=local)
+        arr.flags.writeable = False
+        return arr
+
+    # ------------------------------------------------------------------
+    # Persistence primitives
+    # ------------------------------------------------------------------
+
+    def flush(self, offset: int, length: int) -> None:
+        """Flush the cache lines covering ``[offset, offset+length)``.
+
+        Models CLWB: after a subsequent :meth:`drain`, the covered lines
+        are durable.
+        """
+        if length <= 0:
+            return
+        first = (offset // CACHE_LINE) * CACHE_LINE
+        last = ((offset + length - 1) // CACHE_LINE) * CACHE_LINE
+        n_lines = (last - first) // CACHE_LINE + 1
+        self.stats.lines_flushed += n_lines
+        self.stats.flush_calls += 1
+        if self._mode is PMemMode.STRICT:
+            undo = self._undo
+            for line in range(first, last + CACHE_LINE, CACHE_LINE):
+                undo.pop(line, None)
+        model = self.stats.model
+        if model.injected_flush_ns:
+            busy_wait_ns(int(model.injected_flush_ns * model.write_multiplier))
+
+    def drain(self) -> None:
+        """Persist barrier (SFENCE): order previously flushed lines."""
+        self.stats.drain_calls += 1
+        model = self.stats.model
+        if model.injected_drain_ns:
+            busy_wait_ns(model.injected_drain_ns)
+
+    def persist(self, offset: int, length: int) -> None:
+        """Convenience: flush then drain."""
+        self.flush(offset, length)
+        self.drain()
+
+    # ------------------------------------------------------------------
+    # Root pointer and allocation head (header-resident)
+    # ------------------------------------------------------------------
+
+    @property
+    def root_offset(self) -> int:
+        """Application root pointer (0 when unset)."""
+        return self._raw_read_u64(_OFF_ROOT)
+
+    def set_root(self, offset: int) -> None:
+        """Atomically publish the application root pointer."""
+        self.write_u64(_OFF_ROOT, offset)
+        self.persist(_OFF_ROOT, 8)
+
+    @property
+    def alloc_head(self) -> int:
+        return self._raw_read_u64(_OFF_ALLOC_HEAD)
+
+    def _set_alloc_head(self, value: int) -> None:
+        self.write_u64(_OFF_ALLOC_HEAD, value)
+        self.persist(_OFF_ALLOC_HEAD, 8)
+
+    def allocate(self, nbytes: int, align: int = CACHE_LINE) -> int:
+        """Bump-allocate ``nbytes`` of pool space, growing if needed.
+
+        The returned block never spans an extent boundary; requests
+        larger than one extent raise :class:`PoolFullError`. The
+        high-water mark is persisted with the allocation, so a block
+        reachable from any durable pointer can never be handed out twice
+        after a crash.
+        """
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        if nbytes > self._extent_size:
+            raise PoolFullError(
+                f"allocation of {nbytes} exceeds extent size {self._extent_size}"
+            )
+        head = self.alloc_head
+        head = -(-head // align) * align  # align up
+        ext = head // self._extent_size
+        local = head % self._extent_size
+        if local + nbytes > self._extent_size:
+            # Skip the unusable extent tail and start at the next extent.
+            head = (ext + 1) * self._extent_size
+        while head + nbytes > self.size:
+            self._grow()
+        self._set_alloc_head(head + nbytes)
+        self.stats.allocations += 1
+        self.stats.allocated_bytes += nbytes
+        return head
+
+    def _grow(self) -> None:
+        self._add_extent()
+        self.write_u64(_OFF_NUM_EXTENTS, len(self._maps))
+        self.persist(_OFF_NUM_EXTENTS, 8)

@@ -1,0 +1,274 @@
+"""Persistent growable vector with crash-atomic appends.
+
+``PVector`` is the workhorse multi-version building block of the engine:
+delta attribute vectors, dictionary value arrays, and the MVCC begin/end
+vectors are all PVectors living on NVM.
+
+Layout::
+
+    header (64 B, cache-line aligned)
+      +0   size            committed element count (the publish point)
+      +8   dtype_code
+      +16  chunk_capacity  elements per chunk
+      +24  num_chunks      committed chunk count
+      +32  dir_offset      -> directory block
+      +40  reserved
+    directory block
+      +0   capacity        number of slots
+      +8   slot[0..cap)    chunk offsets (u64 each)
+    chunk
+      raw element payload, chunk_capacity * itemsize bytes
+
+Crash atomicity follows the paper's recipe: payload is written and
+flushed *first*, the persist barrier drains it, and only then is the
+8-byte ``size`` field stored and flushed. A torn append is therefore
+invisible — after a crash the vector's durable prefix is exactly its
+last published size. Directory growth publishes the new directory with a
+single 8-byte ``dir_offset`` store (the capacity lives inside the
+directory block so both change atomically together).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.nvm.errors import NvmError
+from repro.nvm.pool import PMemPool
+
+HEADER_BYTES = 64
+
+DTYPE_CODES = {
+    1: np.dtype(np.uint8),
+    2: np.dtype(np.uint16),
+    3: np.dtype(np.uint32),
+    4: np.dtype(np.uint64),
+    5: np.dtype(np.int64),
+    6: np.dtype(np.float64),
+}
+_CODE_FOR_DTYPE = {v: k for k, v in DTYPE_CODES.items()}
+
+_OFF_SIZE = 0
+_OFF_DTYPE = 8
+_OFF_CHUNK_CAP = 16
+_OFF_NUM_CHUNKS = 24
+_OFF_DIR = 32
+
+DEFAULT_CHUNK_CAPACITY = 8192
+_INITIAL_DIR_CAPACITY = 16
+
+
+class PVector:
+    """A chunked, append-mostly persistent array of a fixed dtype.
+
+    Elements below ``len(self)`` are durable and stable; ``set`` is
+    allowed anywhere below the published size (used for MVCC begin/end
+    updates, which are 8-byte atomic stores).
+    """
+
+    def __init__(self, pool: PMemPool, offset: int):
+        self._pool = pool
+        self.offset = offset
+        self._dtype = DTYPE_CODES[pool.read_u64(offset + _OFF_DTYPE)]
+        self._itemsize = self._dtype.itemsize
+        self._chunk_cap = pool.read_u64(offset + _OFF_CHUNK_CAP)
+        self._size = pool.read_u64(offset + _OFF_SIZE)
+        self._num_chunks = pool.read_u64(offset + _OFF_NUM_CHUNKS)
+        self._dir_offset = pool.read_u64(offset + _OFF_DIR)
+        self._dir_capacity = pool.read_u64(self._dir_offset)
+        self._chunks: list[int] = [
+            pool.read_u64(self._dir_offset + 8 + 8 * i)
+            for i in range(self._num_chunks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        pool: PMemPool,
+        dtype: np.dtype,
+        chunk_capacity: int = DEFAULT_CHUNK_CAPACITY,
+    ) -> "PVector":
+        """Allocate and persist an empty vector; returns the handle."""
+        dtype = np.dtype(dtype)
+        if dtype not in _CODE_FOR_DTYPE:
+            raise NvmError(f"unsupported dtype {dtype}")
+        if chunk_capacity <= 0:
+            raise ValueError("chunk_capacity must be positive")
+        header = pool.allocate(HEADER_BYTES)
+        dir_off = pool.allocate(8 + 8 * _INITIAL_DIR_CAPACITY)
+        pool.write_u64(dir_off, _INITIAL_DIR_CAPACITY)
+        pool.persist(dir_off, 8)
+        pool.write_u64(header + _OFF_SIZE, 0)
+        pool.write_u64(header + _OFF_DTYPE, _CODE_FOR_DTYPE[dtype])
+        pool.write_u64(header + _OFF_CHUNK_CAP, chunk_capacity)
+        pool.write_u64(header + _OFF_NUM_CHUNKS, 0)
+        pool.write_u64(header + _OFF_DIR, dir_off)
+        pool.persist(header, HEADER_BYTES)
+        return cls(pool, header)
+
+    @classmethod
+    def attach(cls, pool: PMemPool, offset: int) -> "PVector":
+        """Re-open an existing vector after a restart."""
+        return cls(pool, offset)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def chunk_capacity(self) -> int:
+        return self._chunk_cap
+
+    @property
+    def nbytes(self) -> int:
+        """Pool bytes held: header + directory + allocated chunks."""
+        return (
+            HEADER_BYTES
+            + 8
+            + 8 * self._dir_capacity
+            + self._num_chunks * self._chunk_cap * self._itemsize
+        )
+
+    # ------------------------------------------------------------------
+    # Chunk management
+    # ------------------------------------------------------------------
+
+    def _grow_directory(self) -> None:
+        pool = self._pool
+        new_cap = self._dir_capacity * 2
+        new_dir = pool.allocate(8 + 8 * new_cap)
+        pool.write_u64(new_dir, new_cap)
+        for i, chunk_off in enumerate(self._chunks):
+            pool.write_u64(new_dir + 8 + 8 * i, chunk_off)
+        pool.persist(new_dir, 8 + 8 * len(self._chunks))
+        # Single atomic store publishes the new directory (its capacity
+        # travels inside the block, so no second store is needed).
+        pool.write_u64(self.offset + _OFF_DIR, new_dir)
+        pool.persist(self.offset + _OFF_DIR, 8)
+        self._dir_offset = new_dir
+        self._dir_capacity = new_cap
+
+    def _add_chunk(self) -> int:
+        pool = self._pool
+        if self._num_chunks == self._dir_capacity:
+            self._grow_directory()
+        chunk_off = pool.allocate(self._chunk_cap * self._itemsize)
+        slot = self._dir_offset + 8 + 8 * self._num_chunks
+        pool.write_u64(slot, chunk_off)
+        pool.persist(slot, 8)
+        self._num_chunks += 1
+        pool.write_u64(self.offset + _OFF_NUM_CHUNKS, self._num_chunks)
+        pool.persist(self.offset + _OFF_NUM_CHUNKS, 8)
+        self._chunks.append(chunk_off)
+        return chunk_off
+
+    def _element_offset(self, index: int) -> int:
+        chunk = index // self._chunk_cap
+        slot = index % self._chunk_cap
+        return self._chunks[chunk] + slot * self._itemsize
+
+    def _publish_size(self, new_size: int) -> None:
+        self._pool.write_u64(self.offset + _OFF_SIZE, new_size)
+        self._pool.persist(self.offset + _OFF_SIZE, 8)
+        self._size = new_size
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def append(self, value) -> int:
+        """Durably append one element; returns its index."""
+        index = self._size
+        if index // self._chunk_cap >= self._num_chunks:
+            self._add_chunk()
+        off = self._element_offset(index)
+        payload = np.asarray(value, dtype=self._dtype).tobytes()
+        self._pool.write(off, payload)
+        self._pool.persist(off, self._itemsize)
+        self._publish_size(index + 1)
+        return index
+
+    def extend(self, values: np.ndarray) -> int:
+        """Durably append a batch; returns the index of the first element.
+
+        The whole batch becomes visible atomically: payload chunks are
+        flushed first, then one size store publishes everything.
+        """
+        values = np.ascontiguousarray(values, dtype=self._dtype)
+        first = self._size
+        cursor = first
+        remaining = values
+        pool = self._pool
+        while remaining.size > 0:
+            if cursor // self._chunk_cap >= self._num_chunks:
+                self._add_chunk()
+            slot = cursor % self._chunk_cap
+            room = self._chunk_cap - slot
+            part = remaining[:room]
+            off = self._chunks[cursor // self._chunk_cap] + slot * self._itemsize
+            pool.write_array(off, part)
+            pool.flush(off, part.nbytes)
+            cursor += int(part.size)
+            remaining = remaining[room:]
+        pool.drain()
+        self._publish_size(cursor)
+        return first
+
+    def set(self, index: int, value, persist: bool = True) -> None:
+        """Overwrite an existing element in place.
+
+        For 8-byte dtypes this is a crash-atomic store (the chunks are
+        cache-line aligned so 8-byte elements never straddle lines).
+        """
+        if index >= self._size:
+            raise IndexError(f"set({index}) beyond size {self._size}")
+        off = self._element_offset(index)
+        self._pool.write(off, np.asarray(value, dtype=self._dtype).tobytes())
+        if persist:
+            self._pool.persist(off, self._itemsize)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get(self, index: int):
+        """Read one element (returns a numpy scalar)."""
+        if index >= self._size:
+            raise IndexError(f"get({index}) beyond size {self._size}")
+        off = self._element_offset(index)
+        data = self._pool.read(off, self._itemsize)
+        return np.frombuffer(data, dtype=self._dtype)[0]
+
+    def __getitem__(self, index: int):
+        return self.get(index)
+
+    def iter_views(self) -> Iterator[np.ndarray]:
+        """Yield read-only numpy views over the committed chunks."""
+        remaining = self._size
+        for chunk_off in self._chunks:
+            if remaining <= 0:
+                return
+            count = min(self._chunk_cap, remaining)
+            yield self._pool.view(chunk_off, self._dtype, count)
+            remaining -= count
+
+    def to_numpy(self) -> np.ndarray:
+        """Materialise the committed contents as one contiguous array."""
+        if self._size == 0:
+            return np.empty(0, dtype=self._dtype)
+        parts = list(self.iter_views())
+        if len(parts) == 1:
+            return parts[0].copy()
+        return np.concatenate(parts)

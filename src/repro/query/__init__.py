@@ -1,0 +1,53 @@
+"""Query execution: predicates, scans, projection, aggregation.
+
+Scans are columnar and vectorised: predicates are first evaluated over
+the (small) dictionaries, then mapped over code arrays, and finally
+intersected with the MVCC visibility mask. Equality predicates can be
+routed through a :class:`~repro.index.table_index.TableIndex`.
+"""
+
+from repro.query.predicate import (
+    And,
+    Between,
+    Eq,
+    Ge,
+    Gt,
+    In,
+    IsNull,
+    Le,
+    Lt,
+    Ne,
+    Not,
+    NotNull,
+    Or,
+    Predicate,
+)
+from repro.query.scan import ScanResult, scan
+from repro.query.aggregate import aggregate
+from repro.query.sort import order_by, top_k
+from repro.query.join import anti_join, hash_join, semi_join
+
+__all__ = [
+    "anti_join",
+    "hash_join",
+    "order_by",
+    "semi_join",
+    "top_k",
+    "And",
+    "Between",
+    "Eq",
+    "Ge",
+    "Gt",
+    "In",
+    "IsNull",
+    "Le",
+    "Lt",
+    "Ne",
+    "Not",
+    "NotNull",
+    "Or",
+    "Predicate",
+    "ScanResult",
+    "aggregate",
+    "scan",
+]

@@ -1,0 +1,62 @@
+"""Aggregation over scan results.
+
+Supports ``count``, ``sum``, ``min``, ``max``, ``avg`` with an optional
+single-column group-by. NULLs are skipped by every aggregate except
+``count(*)``, matching SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.query.scan import ScanResult
+
+_AGGREGATES = ("count", "sum", "min", "max", "avg")
+
+
+def _fold(func: str, values: list) -> Optional[float]:
+    non_null = [v for v in values if v is not None]
+    if func == "count":
+        return len(non_null)
+    if not non_null:
+        return None
+    if func == "sum":
+        return sum(non_null)
+    if func == "min":
+        return min(non_null)
+    if func == "max":
+        return max(non_null)
+    if func == "avg":
+        return sum(non_null) / len(non_null)
+    raise ValueError(f"unknown aggregate {func!r}")
+
+
+def aggregate(
+    result: ScanResult,
+    func: str,
+    column: Optional[str] = None,
+    group_by: Optional[str] = None,
+):
+    """Aggregate a scan result.
+
+    ``aggregate(r, "count")`` counts rows; other functions need a
+    ``column``. With ``group_by``, returns ``{group_value: aggregate}``.
+    """
+    if func not in _AGGREGATES:
+        raise ValueError(f"unknown aggregate {func!r}; pick from {_AGGREGATES}")
+    if func != "count" and column is None:
+        raise ValueError(f"{func} needs a column")
+
+    if group_by is None:
+        if func == "count" and column is None:
+            return len(result)
+        return _fold(func, result.column(column))
+
+    keys = result.column(group_by)
+    values = result.column(column) if column is not None else [1] * len(keys)
+    groups: dict = {}
+    for key, value in zip(keys, values):
+        groups.setdefault(key, []).append(value)
+    if func == "count" and column is None:
+        return {key: len(vals) for key, vals in groups.items()}
+    return {key: _fold(func, vals) for key, vals in groups.items()}

@@ -1,0 +1,88 @@
+"""Hash joins between scan results.
+
+A single-pass equi-join: the smaller input is hashed on its key column,
+the larger is probed. Inputs are visibility-filtered scan results, so
+the join sees exactly one snapshot. NULL keys never join (SQL
+semantics).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional, Sequence
+
+from repro.query.scan import ScanResult
+
+
+def hash_join(
+    left: ScanResult,
+    right: ScanResult,
+    left_key: str,
+    right_key: Optional[str] = None,
+    left_columns: Optional[Sequence[str]] = None,
+    right_columns: Optional[Sequence[str]] = None,
+) -> list[dict]:
+    """Inner equi-join of two scan results on ``left_key = right_key``.
+
+    Output rows merge the selected columns; name collisions from the
+    right side are prefixed with the right table's name.
+    """
+    right_key = right_key or left_key
+    left_rows = left.rows(left_columns)
+    right_rows = right.rows(right_columns)
+
+    build_rows, probe_rows = right_rows, left_rows
+    build_key, probe_key = right_key, left_key
+    swapped = False
+    if len(left_rows) < len(right_rows):
+        build_rows, probe_rows = left_rows, right_rows
+        build_key, probe_key = left_key, right_key
+        swapped = True
+
+    table: dict = defaultdict(list)
+    for row in build_rows:
+        key = row[build_key]
+        if key is not None:
+            table[key].append(row)
+
+    right_name = right.table.name
+    left_name = left.table.name
+    out = []
+    for probe_row in probe_rows:
+        key = probe_row[probe_key]
+        if key is None:
+            continue
+        for build_row in table.get(key, ()):
+            l_row, r_row = (build_row, probe_row) if swapped else (probe_row, build_row)
+            merged = dict(l_row)
+            for name, value in r_row.items():
+                if name in merged and merged[name] != value:
+                    merged[f"{right_name}.{name}"] = value
+                elif name not in merged:
+                    merged[name] = value
+            out.append(merged)
+    return out
+
+
+def semi_join(
+    left: ScanResult, right: ScanResult, left_key: str,
+    right_key: Optional[str] = None,
+) -> list[dict]:
+    """Rows of ``left`` having at least one match in ``right``."""
+    right_key = right_key or left_key
+    keys = {v for v in right.column(right_key) if v is not None}
+    return [row for row in left.rows() if row[left_key] in keys]
+
+
+def anti_join(
+    left: ScanResult, right: ScanResult, left_key: str,
+    right_key: Optional[str] = None,
+) -> list[dict]:
+    """Rows of ``left`` with no match in ``right`` (NULL keys kept out)."""
+    right_key = right_key or left_key
+    keys = {v for v in right.column(right_key) if v is not None}
+    return [
+        row
+        for row in left.rows()
+        if row[left_key] is not None and row[left_key] not in keys
+    ]

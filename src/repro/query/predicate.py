@@ -1,0 +1,306 @@
+"""Predicates evaluated in dictionary-code space.
+
+Evaluation is two-phase, exploiting dictionary compression:
+
+* **main** — the dictionary is sorted, so comparisons become code-range
+  tests computed with two binary searches, independent of row count.
+* **delta** — the dictionary is unsorted, so the predicate is evaluated
+  once per *distinct value* (a per-code truth table) and then gathered
+  over the code array.
+
+NULL semantics are SQL-like: comparisons never match NULL; use
+:class:`IsNull` / :class:`NotNull` explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.storage.delta import DeltaPartition
+from repro.storage.main import MainPartition
+from repro.storage.schema import Schema
+from repro.storage.types import NULL_CODE
+
+
+class Predicate(ABC):
+    """Boolean condition over one row."""
+
+    @abstractmethod
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        """Row mask over the main partition."""
+
+    @abstractmethod
+    def eval_delta(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        """Row mask over the delta partition."""
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class _ColumnPredicate(Predicate):
+    """Base for single-column predicates."""
+
+    def __init__(self, column: str):
+        self.column = column
+
+    def _main_codes(self, main: MainPartition, schema: Schema):
+        col = schema.column_index(self.column)
+        return main.columns[col], main.column_codes(col)
+
+    def _delta_truth(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        """Gather a per-distinct-value truth table over delta codes."""
+        col = schema.column_index(self.column)
+        codes = delta.column_codes(col)
+        dictionary = delta.dictionaries[col]
+        truth = np.fromiter(
+            (self._test(v) for v in dictionary.values_list()),
+            dtype=bool,
+            count=len(dictionary),
+        )
+        mask = np.zeros(codes.size, dtype=bool)
+        non_null = codes != NULL_CODE
+        if non_null.any():
+            mask[non_null] = truth[codes[non_null]]
+        return mask
+
+    def _test(self, value) -> bool:
+        raise NotImplementedError
+
+    def eval_delta(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        return self._delta_truth(delta, schema)
+
+
+def _range_mask(codes: np.ndarray, lo: int, hi: int) -> np.ndarray:
+    """Mask of codes in [lo, hi) — NULL codes sit above every range."""
+    if hi <= lo:
+        return np.zeros(codes.size, dtype=bool)
+    return (codes >= np.uint32(lo)) & (codes < np.uint32(hi))
+
+
+class Eq(_ColumnPredicate):
+    """``column == value``."""
+
+    def __init__(self, column: str, value):
+        super().__init__(column)
+        self.value = value
+
+    def _test(self, v) -> bool:
+        return v == self.value
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        code = column.dictionary.code_of(self.value)
+        if code is None:
+            return np.zeros(codes.size, dtype=bool)
+        return codes == np.uint32(code)
+
+
+class Ne(_ColumnPredicate):
+    """``column != value`` (NULLs excluded, per SQL)."""
+
+    def __init__(self, column: str, value):
+        super().__init__(column)
+        self.value = value
+
+    def _test(self, v) -> bool:
+        return v != self.value
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        mask = codes != np.uint32(column.null_code)
+        code = column.dictionary.code_of(self.value)
+        if code is not None:
+            mask &= codes != np.uint32(code)
+        return mask
+
+
+class Lt(_ColumnPredicate):
+    """``column < value``."""
+
+    def __init__(self, column: str, value):
+        super().__init__(column)
+        self.value = value
+
+    def _test(self, v) -> bool:
+        return v < self.value
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        return _range_mask(codes, 0, column.dictionary.lower_bound(self.value))
+
+
+class Le(_ColumnPredicate):
+    """``column <= value``."""
+
+    def __init__(self, column: str, value):
+        super().__init__(column)
+        self.value = value
+
+    def _test(self, v) -> bool:
+        return v <= self.value
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        return _range_mask(codes, 0, column.dictionary.upper_bound(self.value))
+
+
+class Gt(_ColumnPredicate):
+    """``column > value``."""
+
+    def __init__(self, column: str, value):
+        super().__init__(column)
+        self.value = value
+
+    def _test(self, v) -> bool:
+        return v > self.value
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        dictionary = column.dictionary
+        return _range_mask(codes, dictionary.upper_bound(self.value), len(dictionary))
+
+
+class Ge(_ColumnPredicate):
+    """``column >= value``."""
+
+    def __init__(self, column: str, value):
+        super().__init__(column)
+        self.value = value
+
+    def _test(self, v) -> bool:
+        return v >= self.value
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        dictionary = column.dictionary
+        return _range_mask(codes, dictionary.lower_bound(self.value), len(dictionary))
+
+
+class Between(_ColumnPredicate):
+    """``low <= column <= high``."""
+
+    def __init__(self, column: str, low, high):
+        super().__init__(column)
+        self.low = low
+        self.high = high
+
+    def _test(self, v) -> bool:
+        return self.low <= v <= self.high
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        dictionary = column.dictionary
+        return _range_mask(
+            codes,
+            dictionary.lower_bound(self.low),
+            dictionary.upper_bound(self.high),
+        )
+
+
+class In(_ColumnPredicate):
+    """``column IN (values)``."""
+
+    def __init__(self, column: str, values):
+        super().__init__(column)
+        self.values = set(values)
+
+    def _test(self, v) -> bool:
+        return v in self.values
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        mask = np.zeros(codes.size, dtype=bool)
+        for value in self.values:
+            code = column.dictionary.code_of(value)
+            if code is not None:
+                mask |= codes == np.uint32(code)
+        return mask
+
+
+class IsNull(_ColumnPredicate):
+    """``column IS NULL``."""
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        return codes == np.uint32(column.null_code)
+
+    def eval_delta(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        col = schema.column_index(self.column)
+        return delta.column_codes(col) == np.uint32(NULL_CODE)
+
+
+class NotNull(_ColumnPredicate):
+    """``column IS NOT NULL``."""
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        column, codes = self._main_codes(main, schema)
+        return codes != np.uint32(column.null_code)
+
+    def eval_delta(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        col = schema.column_index(self.column)
+        return delta.column_codes(col) != np.uint32(NULL_CODE)
+
+
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    def __init__(self, *parts: Predicate):
+        if not parts:
+            raise ValueError("And needs at least one predicate")
+        self.parts = parts
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        mask = self.parts[0].eval_main(main, schema)
+        for part in self.parts[1:]:
+            mask &= part.eval_main(main, schema)
+        return mask
+
+    def eval_delta(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        mask = self.parts[0].eval_delta(delta, schema)
+        for part in self.parts[1:]:
+            mask &= part.eval_delta(delta, schema)
+        return mask
+
+
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    def __init__(self, *parts: Predicate):
+        if not parts:
+            raise ValueError("Or needs at least one predicate")
+        self.parts = parts
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        mask = self.parts[0].eval_main(main, schema)
+        for part in self.parts[1:]:
+            mask |= part.eval_main(main, schema)
+        return mask
+
+    def eval_delta(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        mask = self.parts[0].eval_delta(delta, schema)
+        for part in self.parts[1:]:
+            mask |= part.eval_delta(delta, schema)
+        return mask
+
+
+class Not(Predicate):
+    """Negation. NULL rows never match (matching SQL three-valued logic
+    for the operators provided here would require tracking unknowns; we
+    take the simpler closed-world reading and document it)."""
+
+    def __init__(self, part: Predicate):
+        self.part = part
+
+    def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
+        return ~self.part.eval_main(main, schema)
+
+    def eval_delta(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
+        return ~self.part.eval_delta(delta, schema)

@@ -1,0 +1,169 @@
+"""Table scans with MVCC visibility.
+
+A scan intersects three masks per partition: the MVCC visibility mask
+for the snapshot, the (optional) predicate mask, and the transaction's
+own-write adjustments. Equality predicates can instead probe a
+:class:`~repro.index.table_index.TableIndex` and verify visibility on
+the (hopefully small) candidate set.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.query.predicate import Between, Eq, Ge, Gt, IsNull, Le, Lt, Predicate
+from repro.storage.table import Table, pack_rowref, unpack_rowref
+from repro.txn.context import TransactionContext
+
+
+class ScanResult:
+    """Positions of visible, matching rows; values decode lazily."""
+
+    def __init__(
+        self,
+        table: Table,
+        main_positions: np.ndarray,
+        delta_positions: np.ndarray,
+    ):
+        self.table = table
+        self.main_positions = main_positions
+        self.delta_positions = delta_positions
+
+    def __len__(self) -> int:
+        return self.main_positions.size + self.delta_positions.size
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    def refs(self) -> list[int]:
+        """Packed rowrefs of the result rows (main first, then delta)."""
+        out = [pack_rowref(False, int(p)) for p in self.main_positions]
+        out.extend(pack_rowref(True, int(p)) for p in self.delta_positions)
+        return out
+
+    def column(self, name: str) -> list:
+        """Materialise one column's values for the result rows."""
+        col = self.table.schema.column_index(name)
+        main_vals = self.table.main.decode_column(col, self.main_positions)
+        delta_vals = self.table.delta.decode_column(col, self.delta_positions)
+        return main_vals + delta_vals
+
+    def columns(self, names: Optional[Sequence[str]] = None) -> dict:
+        """Materialise several columns as {name: values}."""
+        names = list(names) if names is not None else self.table.schema.names
+        return {name: self.column(name) for name in names}
+
+    def rows(self, names: Optional[Sequence[str]] = None) -> list[dict]:
+        """Materialise result rows as dicts."""
+        cols = self.columns(names)
+        keys = list(cols)
+        return [
+            dict(zip(keys, values)) for values in zip(*(cols[k] for k in keys))
+        ] if keys and len(self) else []
+
+
+def _visibility_masks(
+    table: Table,
+    snapshot_cid: int,
+    ctx: Optional[TransactionContext],
+) -> tuple[np.ndarray, np.ndarray]:
+    main_mask = table.main.mvcc.visible_mask(snapshot_cid)
+    delta_mask = table.delta.mvcc.visible_mask(snapshot_cid)
+    if ctx is not None:
+        ctx.adjust_masks(table, main_mask, delta_mask)
+    return main_mask, delta_mask
+
+
+def scan(
+    table: Table,
+    snapshot_cid: Optional[int] = None,
+    predicate: Optional[Predicate] = None,
+    ctx: Optional[TransactionContext] = None,
+    index=None,
+) -> ScanResult:
+    """Scan ``table`` at a snapshot, optionally filtered and indexed.
+
+    Pass either ``ctx`` (transactional scan: snapshot + own writes) or a
+    bare ``snapshot_cid``. When ``index`` covers the predicate column
+    and the predicate is ``Eq``/``IsNull``, the index supplies candidate
+    positions instead of a full scan.
+    """
+    if ctx is not None:
+        snapshot_cid = ctx.snapshot_cid
+    if snapshot_cid is None:
+        raise ValueError("scan needs a snapshot_cid or a transaction context")
+
+    if index is not None and _index_applicable(index, predicate):
+        return _index_scan(table, snapshot_cid, predicate, ctx, index)
+
+    main_mask, delta_mask = _visibility_masks(table, snapshot_cid, ctx)
+    if predicate is not None:
+        main_mask &= predicate.eval_main(table.main, table.schema)
+        delta_mask &= predicate.eval_delta(table.delta, table.schema)
+    return ScanResult(
+        table,
+        np.nonzero(main_mask)[0],
+        np.nonzero(delta_mask)[0],
+    )
+
+
+_RANGE_PREDICATES = (Between, Lt, Le, Gt, Ge)
+
+
+def _index_applicable(index, predicate: Optional[Predicate]) -> bool:
+    supported = (Eq, IsNull) + _RANGE_PREDICATES
+    return isinstance(predicate, supported) and predicate.column == index.column
+
+
+def _range_bounds(predicate) -> tuple:
+    """(low, high, include_low, include_high) for a range predicate."""
+    if isinstance(predicate, Between):
+        return predicate.low, predicate.high, True, True
+    if isinstance(predicate, Lt):
+        return None, predicate.value, True, False
+    if isinstance(predicate, Le):
+        return None, predicate.value, True, True
+    if isinstance(predicate, Gt):
+        return predicate.value, None, False, True
+    return predicate.value, None, True, True  # Ge
+
+
+def _index_scan(
+    table: Table,
+    snapshot_cid: int,
+    predicate: Predicate,
+    ctx: Optional[TransactionContext],
+    index,
+) -> ScanResult:
+    if isinstance(predicate, Eq):
+        candidates = index.probe_equal(table, predicate.value)
+    elif isinstance(predicate, _RANGE_PREDICATES):
+        low, high, include_low, include_high = _range_bounds(predicate)
+        candidates = index.probe_range(
+            table, low, high, include_low=include_low, include_high=include_high
+        )
+    else:
+        candidates = index.probe_null(table)
+    main_positions = []
+    delta_positions = []
+    for ref in candidates:
+        if ctx is not None:
+            visible = ctx.row_visible(table, ref)
+        else:
+            mvcc, idx = table.mvcc_for(ref)
+            visible = mvcc.get_begin(idx) <= snapshot_cid < mvcc.get_end(idx)
+        if not visible:
+            continue
+        is_delta, idx = unpack_rowref(ref)
+        (delta_positions if is_delta else main_positions).append(idx)
+    # Own inserts matching the predicate may be missing from the index
+    # candidates only if the index was not maintained — the engine
+    # maintains indexes inside insert, so candidates are complete.
+    return ScanResult(
+        table,
+        np.asarray(sorted(main_positions), dtype=np.int64),
+        np.asarray(sorted(delta_positions), dtype=np.int64),
+    )

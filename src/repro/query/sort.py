@@ -1,0 +1,45 @@
+"""Ordering and limiting of scan results."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.query.scan import ScanResult
+
+
+def order_by(
+    result: ScanResult,
+    columns: Union[Sequence[str], str],
+    descending: bool = False,
+    limit: Optional[int] = None,
+) -> list[dict]:
+    """Materialise a scan result ordered by one or more columns.
+
+    NULLs sort last when ascending and first when descending (the common
+    SQL default). Multi-column ordering applies left-to-right via stable
+    per-column sorts. ``limit`` truncates after ordering (top-k).
+    """
+    if isinstance(columns, str):
+        columns = [columns]
+    for column in columns:
+        result.table.schema.column_index(column)  # validate early
+    ordered = result.rows()
+    # Stable sorts applied from the least-significant key to the most;
+    # NULL rows are partitioned out because None does not compare.
+    for column in reversed(list(columns)):
+        non_null = [r for r in ordered if r[column] is not None]
+        nulls = [r for r in ordered if r[column] is None]
+        non_null.sort(key=lambda r: r[column], reverse=descending)
+        ordered = (nulls + non_null) if descending else (non_null + nulls)
+    if limit is not None:
+        ordered = ordered[:limit]
+    return ordered
+
+
+def top_k(
+    result: ScanResult, column: str, k: int, descending: bool = True
+) -> list[dict]:
+    """Top-k rows by one column (NULLs excluded)."""
+    rows = [r for r in result.rows() if r[column] is not None]
+    rows.sort(key=lambda r: r[column], reverse=descending)
+    return rows[:k]

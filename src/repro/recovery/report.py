@@ -1,0 +1,58 @@
+"""Structured timing report for a recovery run (experiment E2)."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RecoveryReport:
+    """Per-phase durations and counters for one recovery."""
+
+    mode: str
+    phases: list[tuple[str, float]] = field(default_factory=list)
+    tables: int = 0
+    rows_recovered: int = 0
+    txns_rolled_back: int = 0
+    txns_rolled_forward: int = 0
+    log_records_replayed: int = 0
+    checkpoint_bytes: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(seconds for _, seconds in self.phases)
+
+    def phase_seconds(self, name: str) -> float:
+        return sum(seconds for phase, seconds in self.phases if phase == name)
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "total_seconds": self.total_seconds,
+            "phases": dict(self.phases),
+            "tables": self.tables,
+            "rows_recovered": self.rows_recovered,
+            "txns_rolled_back": self.txns_rolled_back,
+            "txns_rolled_forward": self.txns_rolled_forward,
+            "log_records_replayed": self.log_records_replayed,
+            "checkpoint_bytes": self.checkpoint_bytes,
+        }
+
+
+class PhaseTimer:
+    """Context-manager helper appending a timed phase to a report."""
+
+    def __init__(self, report: RecoveryReport, name: str):
+        self._report = report
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "PhaseTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._report.phases.append(
+            (self._name, time.perf_counter() - self._start)
+        )

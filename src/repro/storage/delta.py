@@ -1,0 +1,161 @@
+"""Write-optimised delta partition.
+
+New rows always land in the delta: each column appends a dictionary code
+to a growable vector, and the MVCC columns track the inserting
+transaction. The insert protocol is crash-safe without any logging: the
+``begin_cid`` vector is appended **last** and its published length is
+the authoritative row count, so a crash mid-insert leaves only ragged
+column tails that the next insert overwrites in place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.storage.backend import Backend
+from repro.storage.dictionary import UnsortedDictionary
+from repro.storage.mvcc import INFINITY_CID, MvccColumns, NO_TID
+from repro.storage.schema import Schema
+from repro.storage.types import NULL_CODE, Value
+from repro.storage.vector import VectorLike
+
+_CODE_DTYPE = np.dtype(np.uint32)
+
+
+def _append_or_overwrite(vector: VectorLike, index: int, value) -> None:
+    """Append ``value`` at ``index``, or overwrite a crash leftover.
+
+    Vectors ahead of the authoritative row count hold tails of inserts
+    that never published; those slots are dead and safe to reuse.
+    """
+    if len(vector) == index:
+        vector.append(value)
+    else:
+        vector.set(index, value)
+
+
+class DeltaPartition:
+    """Append-only, dictionary-encoded delta store for one table."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        backend: Backend,
+        dictionaries: list[UnsortedDictionary],
+        code_vectors: list[VectorLike],
+        mvcc: MvccColumns,
+    ):
+        self.schema = schema
+        self.backend = backend
+        self.dictionaries = dictionaries
+        self.code_vectors = code_vectors
+        self.mvcc = mvcc
+
+    @classmethod
+    def create(
+        cls,
+        schema: Schema,
+        backend: Backend,
+        persistent_dict_index: bool = False,
+        chunk_capacity: int = 8192,
+    ) -> "DeltaPartition":
+        """New empty delta for ``schema`` on ``backend``."""
+        dictionaries = [
+            UnsortedDictionary.create(
+                col.dtype, backend, persistent_lookup=persistent_dict_index
+            )
+            for col in schema
+        ]
+        code_vectors = [
+            backend.make_vector(_CODE_DTYPE, chunk_capacity) for _ in schema
+        ]
+        mvcc = MvccColumns.create(backend, chunk_capacity)
+        return cls(schema, backend, dictionaries, code_vectors, mvcc)
+
+    @property
+    def row_count(self) -> int:
+        """Published row count (length of the begin_cid vector)."""
+        return len(self.mvcc.begin)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def encode_row(self, values: Sequence[Value]) -> list[int]:
+        """Dictionary-encode a row, extending dictionaries as needed."""
+        codes = []
+        for dictionary, value in zip(self.dictionaries, values):
+            if value is None:
+                codes.append(NULL_CODE)
+            else:
+                codes.append(dictionary.code_for_insert(value))
+        return codes
+
+    def insert_encoded(self, codes: Sequence[int], tid: int) -> int:
+        """Insert a pre-encoded row as uncommitted; returns its row index."""
+        row = self.row_count
+        for vector, code in zip(self.code_vectors, codes):
+            _append_or_overwrite(vector, row, code)
+        _append_or_overwrite(self.mvcc.end, row, INFINITY_CID)
+        _append_or_overwrite(self.mvcc.tid, row, tid)
+        self.mvcc.begin.append(INFINITY_CID)  # publish point
+        return row
+
+    def insert_row(self, values: Sequence[Value], tid: int) -> int:
+        """Encode and insert one row as uncommitted."""
+        return self.insert_encoded(self.encode_row(values), tid)
+
+    def bulk_load(
+        self,
+        encoded_columns: list[np.ndarray],
+        begin_cid: int,
+    ) -> int:
+        """Append many already-committed rows at once (loader/merge path).
+
+        Becomes visible atomically when the begin vector publishes.
+        Returns the first new row index.
+        """
+        counts = {len(col) for col in encoded_columns}
+        if len(counts) != 1:
+            raise ValueError("ragged bulk load")
+        (n,) = counts
+        first = self.row_count
+        for vector, codes in zip(self.code_vectors, encoded_columns):
+            vector.extend(np.asarray(codes, dtype=_CODE_DTYPE))
+        self.mvcc.end.extend(np.full(n, INFINITY_CID, dtype=np.uint64))
+        self.mvcc.tid.extend(np.full(n, NO_TID, dtype=np.uint64))
+        self.mvcc.begin.extend(np.full(n, begin_cid, dtype=np.uint64))
+        return first
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get_code(self, col: int, row: int) -> int:
+        if row >= self.row_count:
+            raise IndexError(f"row {row} beyond delta size {self.row_count}")
+        return int(self.code_vectors[col].get(row))
+
+    def get_value(self, col: int, row: int) -> Value:
+        code = self.get_code(col, row)
+        if code == NULL_CODE:
+            return None
+        return self.dictionaries[col].value_of(code)
+
+    def column_codes(self, col: int) -> np.ndarray:
+        """Codes of all published rows in column ``col`` (uint32 copy)."""
+        arr = self.code_vectors[col].to_numpy()
+        return arr[: self.row_count]
+
+    def decode_column(self, col: int, rows: Optional[np.ndarray] = None) -> list:
+        """Materialise values for ``rows`` (default: all published rows)."""
+        codes = self.column_codes(col)
+        if rows is not None:
+            codes = codes[rows]
+        dictionary = self.dictionaries[col]
+        return [
+            None if code == NULL_CODE else dictionary.value_of(int(code))
+            for code in codes
+        ]

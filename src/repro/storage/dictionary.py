@@ -1,0 +1,313 @@
+"""Dictionary compression for column values.
+
+Two dictionary kinds, as in Hyrise:
+
+* :class:`UnsortedDictionary` — the delta partition's dictionary. Values
+  are appended in first-seen order; lookup runs through a volatile hash
+  map (rebuilt by scanning the value vector after a restart) or, in the
+  persistent-index ablation, through an NVM-resident
+  :class:`~repro.nvm.phash.PHashMap` that needs no rebuild.
+* :class:`SortedDictionary` — the main partition's dictionary, built at
+  merge time. Values are sorted, so codes preserve value order and range
+  predicates translate to code ranges.
+
+Value storage is dtype-specific: INT64/FLOAT64 values live directly in a
+vector; STRING values live in the blob heap with a vector of handles.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, bisect_right
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.nvm.phash import PHashMap
+from repro.storage.backend import Backend, NvmBackend
+from repro.storage.types import DataType
+from repro.storage.vector import VectorLike
+
+_U64_MASK = (1 << 64) - 1
+
+_STORAGE_DTYPE = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.STRING: np.dtype(np.uint64),  # blob handles
+}
+
+
+def hash_key(dtype: DataType, value) -> int:
+    """Stable u64 hash key for a non-null value (persistent lookups)."""
+    if dtype is DataType.INT64:
+        return value & _U64_MASK
+    if dtype is DataType.FLOAT64:
+        return int(np.float64(value).view(np.uint64))
+    digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+class UnsortedDictionary:
+    """Append-only dictionary for the delta partition.
+
+    The *value vector* is the durable authority; lookup structures are
+    accelerators. ``code_for_insert`` publishes the value durably before
+    touching any persistent lookup, so a crash can only leave the lookup
+    *behind* the values, which :meth:`attach` repairs.
+    """
+
+    def __init__(
+        self,
+        dtype: DataType,
+        backend: Backend,
+        values: VectorLike,
+        persistent_lookup: Optional[PHashMap] = None,
+    ):
+        self.dtype = dtype
+        self._backend = backend
+        self.values = values
+        self.persistent_lookup = persistent_lookup
+        self._lookup: Optional[dict] = None
+
+    @classmethod
+    def create(
+        cls,
+        dtype: DataType,
+        backend: Backend,
+        persistent_lookup: bool = False,
+        chunk_capacity: int = 1024,
+    ) -> "UnsortedDictionary":
+        """New empty dictionary; ``persistent_lookup`` needs an NVM backend."""
+        values = backend.make_vector(_STORAGE_DTYPE[dtype], chunk_capacity)
+        phash = None
+        if persistent_lookup:
+            if not isinstance(backend, NvmBackend):
+                raise ValueError("persistent lookup requires an NVM backend")
+            phash = PHashMap.create(backend.pool)
+        out = cls(dtype, backend, values, phash)
+        out._lookup = {}
+        return out
+
+    @classmethod
+    def from_values(
+        cls, dtype: DataType, backend: Backend, values: Sequence
+    ) -> "UnsortedDictionary":
+        """Bulk-load a dictionary from values in code order (restore path)."""
+        out = cls.create(dtype, backend)
+        if values:
+            if dtype is DataType.STRING:
+                raw = np.fromiter(
+                    (backend.put_str(v) for v in values),
+                    dtype=np.uint64,
+                    count=len(values),
+                )
+            else:
+                raw = np.asarray(list(values), dtype=_STORAGE_DTYPE[dtype])
+            out.values.extend(raw)
+        out._lookup = None  # rebuilt lazily from the loaded values
+        return out
+
+    @classmethod
+    def attach(
+        cls,
+        dtype: DataType,
+        backend: NvmBackend,
+        values_offset: int,
+        lookup_offset: int = 0,
+    ) -> "UnsortedDictionary":
+        """Re-open after restart.
+
+        With a persistent lookup the dictionary is ready immediately
+        unless a crash left the lookup short, in which case the missing
+        tail entries are re-inserted (work bounded by the in-flight
+        transactions at crash time). Without one, the volatile lookup is
+        rebuilt lazily on first insert — an O(delta) cost the instant-
+        restart experiments account for.
+        """
+        values = backend.attach_vector(values_offset)
+        phash = None
+        if lookup_offset:
+            phash = PHashMap.attach(backend.pool, lookup_offset)
+        out = cls(dtype, backend, values, phash)
+        if phash is not None and len(phash) != len(values):
+            out._repair_persistent_lookup()
+        return out
+
+    def _repair_persistent_lookup(self) -> None:
+        self._ensure_lookup()
+        assert self.persistent_lookup is not None
+        present = set()
+        for _, code in self.persistent_lookup.items():
+            present.add(code)
+        for code in range(len(self.values)):
+            if code not in present:
+                value = self.value_of(code)
+                self.persistent_lookup.insert(hash_key(self.dtype, value), code)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    # Decoding
+    # ------------------------------------------------------------------
+
+    def value_of(self, code: int):
+        """Decode one dictionary code back to its value."""
+        raw = self.values.get(code)
+        if self.dtype is DataType.STRING:
+            return self._backend.get_str(int(raw))
+        if self.dtype is DataType.INT64:
+            return int(raw)
+        return float(raw)
+
+    def values_list(self) -> list:
+        """All values in code order (used by merge and checkpoints)."""
+        raw = self.values.to_numpy()
+        if self.dtype is DataType.STRING:
+            return [self._backend.get_str(int(h)) for h in raw]
+        if self.dtype is DataType.INT64:
+            return [int(v) for v in raw]
+        return [float(v) for v in raw]
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
+
+    def _ensure_lookup(self) -> None:
+        if self._lookup is not None:
+            return
+        self._lookup = {
+            value: code for code, value in enumerate(self.values_list())
+        }
+
+    def code_of(self, value) -> Optional[int]:
+        """Code of ``value`` if present, else None."""
+        if self.persistent_lookup is not None and self._lookup is None:
+            # Restart path: answer from NVM without a rebuild.
+            for code in self.persistent_lookup.iter_values(
+                hash_key(self.dtype, value)
+            ):
+                if code < len(self.values) and self.value_of(code) == value:
+                    return code
+            return None
+        self._ensure_lookup()
+        return self._lookup.get(value)
+
+    def code_for_insert(self, value) -> int:
+        """Code of ``value``, appending it to the dictionary if new."""
+        existing = self.code_of(value)
+        if existing is not None:
+            return existing
+        if self.dtype is DataType.STRING:
+            raw = self._backend.put_str(value)
+        else:
+            raw = value
+        code = self.values.append(raw)
+        if self._lookup is not None:
+            self._lookup[value] = code
+        if self.persistent_lookup is not None:
+            self.persistent_lookup.insert(hash_key(self.dtype, value), code)
+        return code
+
+
+class SortedDictionary:
+    """Order-preserving dictionary for the (immutable) main partition."""
+
+    def __init__(self, dtype: DataType, backend: Backend, values: VectorLike):
+        self.dtype = dtype
+        self._backend = backend
+        self.values = values
+        self._cache = None  # np.ndarray for numerics, list[str] for strings
+
+    @classmethod
+    def build(
+        cls, dtype: DataType, backend: Backend, sorted_values: Sequence
+    ) -> "SortedDictionary":
+        """Persist a dictionary from already-sorted, distinct values."""
+        storage = backend.make_vector(_STORAGE_DTYPE[dtype], chunk_capacity=4096)
+        if dtype is DataType.STRING:
+            handles = np.fromiter(
+                (backend.put_str(v) for v in sorted_values),
+                dtype=np.uint64,
+                count=len(sorted_values),
+            )
+            if len(sorted_values):
+                storage.extend(handles)
+        elif len(sorted_values):
+            storage.extend(
+                np.asarray(list(sorted_values), dtype=_STORAGE_DTYPE[dtype])
+            )
+        out = cls(dtype, backend, storage)
+        return out
+
+    @classmethod
+    def attach(
+        cls, dtype: DataType, backend: NvmBackend, values_offset: int
+    ) -> "SortedDictionary":
+        """Re-open after restart; decode caches fill lazily on first use."""
+        return cls(dtype, backend, backend.attach_vector(values_offset))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def _materialise(self):
+        if self._cache is None:
+            raw = self.values.to_numpy()
+            if self.dtype is DataType.STRING:
+                self._cache = [self._backend.get_str(int(h)) for h in raw]
+            else:
+                self._cache = raw
+        return self._cache
+
+    def value_of(self, code: int):
+        """Decode one code (codes are positions in sorted order)."""
+        cache = self._materialise()
+        value = cache[code]
+        if self.dtype is DataType.INT64:
+            return int(value)
+        if self.dtype is DataType.FLOAT64:
+            return float(value)
+        return value
+
+    def values_list(self) -> list:
+        cache = self._materialise()
+        if self.dtype is DataType.STRING:
+            return list(cache)
+        if self.dtype is DataType.INT64:
+            return [int(v) for v in cache]
+        return [float(v) for v in cache]
+
+    def decode(self, codes: np.ndarray) -> list:
+        """Decode an array of codes to values (projection materialise)."""
+        cache = self._materialise()
+        if self.dtype is DataType.STRING:
+            return [cache[c] for c in codes]
+        picked = np.asarray(cache)[codes]
+        if self.dtype is DataType.INT64:
+            return [int(v) for v in picked]
+        return [float(v) for v in picked]
+
+    # ------------------------------------------------------------------
+    # Order-aware lookups (power the code-space predicates)
+    # ------------------------------------------------------------------
+
+    def code_of(self, value) -> Optional[int]:
+        """Exact code of ``value``, or None if absent."""
+        pos = self.lower_bound(value)
+        if pos < len(self) and self.value_of(pos) == value:
+            return pos
+        return None
+
+    def lower_bound(self, value) -> int:
+        """First code whose value is >= ``value`` (== len when none)."""
+        cache = self._materialise()
+        if self.dtype is DataType.STRING:
+            return bisect_left(cache, value)
+        return int(np.searchsorted(cache, value, side="left"))
+
+    def upper_bound(self, value) -> int:
+        """First code whose value is > ``value`` (== len when none)."""
+        cache = self._materialise()
+        if self.dtype is DataType.STRING:
+            return bisect_right(cache, value)
+        return int(np.searchsorted(cache, value, side="right"))

@@ -1,0 +1,152 @@
+"""Read-optimised main partition.
+
+The main partition is rebuilt by each merge and immutable between merges
+except for MVCC invalidations (8-byte ``end_cid``/``tid`` stores).
+Column codes are bit-packed at ``ceil(log2(|dict|+1))`` bits — the +1
+reserves the local NULL code, which is ``len(dictionary)``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage import bitpack
+from repro.storage.backend import Backend
+from repro.storage.dictionary import SortedDictionary
+from repro.storage.mvcc import MvccColumns
+from repro.storage.schema import Schema
+from repro.storage.types import Value
+from repro.storage.vector import VectorLike
+
+
+class MainColumn:
+    """One dictionary-compressed, bit-packed main column."""
+
+    def __init__(
+        self,
+        dictionary: SortedDictionary,
+        words: VectorLike,
+        bits: int,
+        row_count: int,
+    ):
+        self.dictionary = dictionary
+        self.words = words
+        self.bits = bits
+        self._row_count = row_count
+        self._codes_cache: Optional[np.ndarray] = None
+
+    @property
+    def null_code(self) -> int:
+        """Local NULL sentinel: one past the last dictionary code."""
+        return len(self.dictionary)
+
+    def codes(self) -> np.ndarray:
+        """Unpacked uint32 codes (cached — the column is immutable)."""
+        if self._codes_cache is None:
+            self._codes_cache = bitpack.unpack(
+                self.words.to_numpy(), self.bits, self._row_count
+            )
+        return self._codes_cache
+
+    def get_code(self, row: int) -> int:
+        return int(self.codes()[row])
+
+    def get_value(self, row: int) -> Value:
+        code = self.get_code(row)
+        if code == self.null_code:
+            return None
+        return self.dictionary.value_of(code)
+
+    def compressed_bytes(self) -> int:
+        """Size of the packed attribute vector in bytes."""
+        return len(self.words) * 8
+
+
+class MainPartition:
+    """Immutable main store built by the merge process."""
+
+    def __init__(
+        self, schema: Schema, columns: list[MainColumn], mvcc: MvccColumns,
+        row_count: int,
+    ):
+        self.schema = schema
+        self.columns = columns
+        self.mvcc = mvcc
+        self.row_count = row_count
+
+    @classmethod
+    def build(
+        cls,
+        schema: Schema,
+        backend: Backend,
+        dictionaries: list[SortedDictionary],
+        code_columns: list[np.ndarray],
+        begin_cids: np.ndarray,
+        end_cids: np.ndarray,
+    ) -> "MainPartition":
+        """Persist a new main from per-column codes and MVCC state.
+
+        ``code_columns`` use each column's local NULL code
+        (``len(dictionary)``) for NULLs.
+        """
+        row_count = len(begin_cids)
+        columns = []
+        for dictionary, codes in zip(dictionaries, code_columns):
+            if len(codes) != row_count:
+                raise ValueError("ragged main build")
+            bits = bitpack.bits_needed(len(dictionary))
+            words = bitpack.pack(np.asarray(codes, dtype=np.uint32), bits)
+            # Main is immutable: size chunks exactly so no space is wasted
+            # (capped so a chunk always fits inside one pool extent).
+            words_vec = backend.make_vector(
+                np.uint64, chunk_capacity=min(max(int(words.size), 8), 1 << 19)
+            )
+            if words.size:
+                words_vec.extend(words)
+            columns.append(MainColumn(dictionary, words_vec, bits, row_count))
+        mvcc = MvccColumns.create(
+            backend, chunk_capacity=min(max(row_count, 8), 1 << 19)
+        )
+        if row_count:
+            mvcc.extend_committed(begin_cids, end_cids)
+        return cls(schema, columns, mvcc, row_count)
+
+    @classmethod
+    def empty(cls, schema: Schema, backend: Backend) -> "MainPartition":
+        """A zero-row main (tables start with everything in the delta)."""
+        dictionaries = [
+            SortedDictionary.build(col.dtype, backend, []) for col in schema
+        ]
+        empty_cols = [np.empty(0, dtype=np.uint32) for _ in schema]
+        none = np.empty(0, dtype=np.uint64)
+        return cls.build(schema, backend, dictionaries, empty_cols, none, none)
+
+    def column_codes(self, col: int) -> np.ndarray:
+        return self.columns[col].codes()
+
+    def get_value(self, col: int, row: int) -> Value:
+        if row >= self.row_count:
+            raise IndexError(f"row {row} beyond main size {self.row_count}")
+        return self.columns[col].get_value(row)
+
+    def decode_column(self, col: int, rows: Optional[np.ndarray] = None) -> list:
+        """Materialise values for ``rows`` (default: all rows)."""
+        column = self.columns[col]
+        codes = column.codes()
+        if rows is not None:
+            codes = codes[rows]
+        null_code = column.null_code
+        dictionary = column.dictionary
+        if len(dictionary) == 0:
+            return [None] * len(codes)
+        values = dictionary.decode(np.where(codes == null_code, 0, codes))
+        return [
+            None if code == null_code else value
+            for code, value in zip(codes, values)
+        ]
+
+    def compressed_bytes(self) -> int:
+        """Total packed attribute-vector bytes across columns."""
+        return sum(c.compressed_bytes() for c in self.columns)

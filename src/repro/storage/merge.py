@@ -1,0 +1,142 @@
+"""Merge process: fold the delta into a fresh main partition.
+
+The merge runs when the system is quiesced (no active transactions — the
+engine enforces this) and produces:
+
+* a new main containing every *surviving* row version — committed
+  (``begin_cid != INF``) and not invalidated (``end_cid == INF``) — with
+  a freshly sorted dictionary per column and re-packed codes;
+* a fresh empty delta.
+
+On NVM the engine publishes the pair with a single atomic pointer store
+(shadow swap), so a crash mid-merge leaves the old generation intact.
+Dictionary entries no longer referenced by surviving rows are dropped,
+which keeps dictionaries from growing without bound under updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.backend import Backend
+from repro.storage.delta import DeltaPartition
+from repro.storage.dictionary import SortedDictionary
+from repro.storage.main import MainPartition
+from repro.storage.mvcc import INFINITY_CID
+from repro.storage.table import Table
+from repro.storage.types import DataType, NULL_CODE
+
+
+def _survivor_mask(mvcc) -> np.ndarray:
+    begin = mvcc.begin_array()
+    end = mvcc.end_array()
+    inf = np.uint64(INFINITY_CID)
+    return (begin != inf) & (end == inf)
+
+
+def _referenced_values(dictionary, codes: np.ndarray, null_code: int) -> dict:
+    """Map of value -> None for codes actually used (NULLs skipped)."""
+    used = np.unique(codes)
+    return {
+        dictionary.value_of(int(code)): None
+        for code in used
+        if code != null_code
+    }
+
+
+def _code_mapping(
+    dictionary, old_size: int, new_dict: SortedDictionary, null_code: int,
+    used: np.ndarray,
+) -> np.ndarray:
+    """uint32 array mapping old codes -> new codes (old NULL -> new NULL)."""
+    new_null = len(new_dict)
+    mapping = np.full(old_size + 1, new_null, dtype=np.uint32)
+    for code in used:
+        code = int(code)
+        if code == null_code:
+            continue
+        new_code = new_dict.code_of(dictionary.value_of(code))
+        assert new_code is not None
+        mapping[code] = new_code
+    return mapping
+
+
+def merge_table(
+    table: Table, backend: Backend
+) -> tuple[MainPartition, DeltaPartition]:
+    """Build the next main/delta generation for ``table``.
+
+    The caller is responsible for quiescing transactions and for
+    publishing the returned partitions (atomically, on NVM).
+    """
+    main = table.main
+    delta = table.delta
+    schema = table.schema
+
+    main_mask = _survivor_mask(main.mvcc)
+    delta_mask = _survivor_mask(delta.mvcc)
+    main_begin = main.mvcc.begin_array()[main_mask]
+    delta_begin = delta.mvcc.begin_array()[delta_mask]
+    begin_cids = np.concatenate([main_begin, delta_begin])
+    end_cids = np.full(begin_cids.size, INFINITY_CID, dtype=np.uint64)
+
+    new_dicts: list[SortedDictionary] = []
+    new_codes: list[np.ndarray] = []
+    for ci, col in enumerate(schema):
+        main_col = main.columns[ci]
+        main_codes = main_col.codes()[main_mask]
+        delta_codes = delta.column_codes(ci)[delta_mask]
+
+        values = _referenced_values(
+            main_col.dictionary, main_codes, main_col.null_code
+        )
+        values.update(
+            _referenced_values(delta.dictionaries[ci], delta_codes, NULL_CODE)
+        )
+        sorted_values = _sorted_domain(col.dtype, values)
+        new_dict = SortedDictionary.build(col.dtype, backend, sorted_values)
+
+        main_map = _code_mapping(
+            main_col.dictionary,
+            len(main_col.dictionary),
+            new_dict,
+            main_col.null_code,
+            np.unique(main_codes),
+        )
+        merged_main = main_map[main_codes]
+
+        new_null = len(new_dict)
+        merged_delta = np.full(delta_codes.size, new_null, dtype=np.uint32)
+        non_null = delta_codes != NULL_CODE
+        if non_null.any():
+            delta_dict = delta.dictionaries[ci]
+            delta_map = _code_mapping(
+                delta_dict,
+                len(delta_dict),
+                new_dict,
+                NULL_CODE,
+                np.unique(delta_codes[non_null]),
+            )
+            merged_delta[non_null] = delta_map[delta_codes[non_null]]
+
+        new_dicts.append(new_dict)
+        new_codes.append(np.concatenate([merged_main, merged_delta]))
+
+    new_main = MainPartition.build(
+        schema, backend, new_dicts, new_codes, begin_cids, end_cids
+    )
+    new_delta = DeltaPartition.create(
+        schema,
+        backend,
+        persistent_dict_index=_uses_persistent_index(delta),
+    )
+    return new_main, new_delta
+
+
+def _sorted_domain(dtype: DataType, values: dict) -> list:
+    """Sort the referenced value domain (already distinct)."""
+    return sorted(values)
+
+
+def _uses_persistent_index(delta: DeltaPartition) -> bool:
+    return any(d.persistent_lookup is not None for d in delta.dictionaries)

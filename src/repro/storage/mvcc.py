@@ -1,0 +1,115 @@
+"""Multi-version concurrency-control columns.
+
+Every partition row carries three hidden columns, exactly as in Hyrise:
+
+* ``begin_cid`` — commit id from which the row version is visible;
+  :data:`INFINITY_CID` while the inserting transaction is in flight.
+* ``end_cid`` — commit id from which the row version is invalidated;
+  :data:`INFINITY_CID` while the row is live.
+* ``tid`` — transaction id currently holding the row (insert or
+  invalidation lock); :data:`NO_TID` when unlocked.
+
+A row version is visible to a snapshot ``S`` iff
+``begin_cid <= S < end_cid`` — evaluated vectorised for scans — with
+own-transaction adjustments applied by the transaction context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.backend import Backend
+from repro.storage.vector import VectorLike
+
+#: "Never" commit id: u64 max. Unset begin/end markers.
+INFINITY_CID = 2**64 - 1
+
+#: tid value meaning "row not locked by any transaction".
+NO_TID = 0
+
+
+class MvccColumns:
+    """The begin/end/tid vectors for one partition."""
+
+    def __init__(self, begin: VectorLike, end: VectorLike, tid: VectorLike):
+        self.begin = begin
+        self.end = end
+        self.tid = tid
+
+    @classmethod
+    def create(cls, backend: Backend, chunk_capacity: int = 8192) -> "MvccColumns":
+        """Fresh empty MVCC columns on ``backend``."""
+        return cls(
+            backend.make_vector(np.uint64, chunk_capacity),
+            backend.make_vector(np.uint64, chunk_capacity),
+            backend.make_vector(np.uint64, chunk_capacity),
+        )
+
+    def __len__(self) -> int:
+        return len(self.begin)
+
+    def append_uncommitted(self, tid: int) -> int:
+        """Add MVCC state for a freshly inserted (uncommitted) row."""
+        self.begin.append(INFINITY_CID)
+        self.end.append(INFINITY_CID)
+        return self.tid.append(tid)
+
+    def extend_committed(
+        self, begin_cids: np.ndarray, end_cids: np.ndarray
+    ) -> None:
+        """Bulk-load MVCC state (merge / checkpoint load paths)."""
+        self.begin.extend(np.asarray(begin_cids, dtype=np.uint64))
+        self.end.extend(np.asarray(end_cids, dtype=np.uint64))
+        self.tid.extend(np.full(len(begin_cids), NO_TID, dtype=np.uint64))
+
+    # ------------------------------------------------------------------
+    # Row-level accessors
+    # ------------------------------------------------------------------
+
+    def set_begin(self, row: int, cid: int, persist: bool = True) -> None:
+        self.begin.set(row, cid, persist=persist)
+
+    def set_end(self, row: int, cid: int, persist: bool = True) -> None:
+        self.end.set(row, cid, persist=persist)
+
+    def set_tid(self, row: int, tid: int, persist: bool = True) -> None:
+        self.tid.set(row, tid, persist=persist)
+
+    def get_begin(self, row: int) -> int:
+        return int(self.begin.get(row))
+
+    def get_end(self, row: int) -> int:
+        return int(self.end.get(row))
+
+    def get_tid(self, row: int) -> int:
+        return int(self.tid.get(row))
+
+    # ------------------------------------------------------------------
+    # Vectorised visibility
+    # ------------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        """Published rows — the begin vector is the authority (end/tid
+        may run ahead by crash-torn insert tails)."""
+        return len(self.begin)
+
+    def begin_array(self) -> np.ndarray:
+        return self.begin.to_numpy()
+
+    def end_array(self) -> np.ndarray:
+        return self.end.to_numpy()[: self.row_count]
+
+    def tid_array(self) -> np.ndarray:
+        return self.tid.to_numpy()[: self.row_count]
+
+    def visible_mask(self, snapshot_cid: int) -> np.ndarray:
+        """Boolean mask of rows visible at ``snapshot_cid``.
+
+        Own-transaction effects (rows we inserted or invalidated but have
+        not committed) are layered on top by the transaction context.
+        """
+        begin = self.begin_array()
+        end = self.end_array()
+        s = np.uint64(snapshot_cid)
+        return (begin <= s) & (end > s)

@@ -1,0 +1,104 @@
+"""Table schemas and their binary serialisation.
+
+Schemas are persisted (in the NVM catalog and in checkpoints) as a
+compact binary blob so that a restart can reconstruct column metadata
+without any external files.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.storage.types import DataType, Value, type_from_tag, type_tag
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    """Name and type of one column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self):
+        if not self.name or not self.name.isidentifier():
+            raise ValueError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Ordered set of columns defining a table."""
+
+    columns: tuple[ColumnDef, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, columns):
+        cols = tuple(columns)
+        if not cols:
+            raise ValueError("schema needs at least one column")
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in {names}")
+        object.__setattr__(self, "columns", cols)
+        object.__setattr__(
+            self, "_index", {c.name: i for i, c in enumerate(cols)}
+        )
+
+    @classmethod
+    def of(cls, **name_types: DataType) -> "Schema":
+        """Convenience constructor: ``Schema.of(id=DataType.INT64, ...)``."""
+        return cls([ColumnDef(n, t) for n, t in name_types.items()])
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def column_index(self, name: str) -> int:
+        """Position of column ``name`` (raises KeyError if absent)."""
+        return self._index[name]
+
+    def column(self, name: str) -> ColumnDef:
+        return self.columns[self._index[name]]
+
+    @property
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def validate_row(self, row: dict) -> list[Value]:
+        """Check a {name: value} row and return values in column order.
+
+        Missing columns become NULL; unknown keys raise.
+        """
+        unknown = set(row) - set(self._index)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        return [c.dtype.validate(row.get(c.name)) for c in self.columns]
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialise: u16 column count, then (u8 tag, u16 len, name)*."""
+        parts = [struct.pack("<H", len(self.columns))]
+        for col in self.columns:
+            encoded = col.name.encode("utf-8")
+            parts.append(struct.pack("<BH", type_tag(col.dtype), len(encoded)))
+            parts.append(encoded)
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Schema":
+        """Inverse of :meth:`to_bytes`."""
+        (count,) = struct.unpack_from("<H", blob, 0)
+        pos = 2
+        cols = []
+        for _ in range(count):
+            tag, name_len = struct.unpack_from("<BH", blob, pos)
+            pos += 3
+            name = blob[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            cols.append(ColumnDef(name, type_from_tag(tag)))
+        return cls(cols)

@@ -1,0 +1,140 @@
+"""Table: a schema plus one main and one delta partition.
+
+Rows are addressed by a packed 64-bit *row reference* that encodes the
+partition and the row index — the unit stored in undo records and index
+position lists::
+
+    bit 63        1 = delta, 0 = main
+    bits 0..62    row index within the partition
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.storage.backend import Backend
+from repro.storage.delta import DeltaPartition
+from repro.storage.main import MainPartition
+from repro.storage.mvcc import MvccColumns
+from repro.storage.schema import Schema
+from repro.storage.types import Value
+
+_DELTA_BIT = 1 << 63
+_INDEX_MASK = _DELTA_BIT - 1
+
+
+def pack_rowref(is_delta: bool, index: int) -> int:
+    """Encode a (partition, index) row reference into a u64."""
+    if index > _INDEX_MASK:
+        raise ValueError("row index too large")
+    return (_DELTA_BIT | index) if is_delta else index
+
+
+def unpack_rowref(ref: int) -> tuple[bool, int]:
+    """Decode a packed row reference: (is_delta, index)."""
+    return bool(ref & _DELTA_BIT), ref & _INDEX_MASK
+
+
+class Table:
+    """One logical table of the engine."""
+
+    def __init__(
+        self,
+        table_id: int,
+        name: str,
+        schema: Schema,
+        backend: Backend,
+        main: MainPartition,
+        delta: DeltaPartition,
+        generation: int = 0,
+    ):
+        self.table_id = table_id
+        self.name = name
+        self.schema = schema
+        self.backend = backend
+        self.main = main
+        self.delta = delta
+        self.generation = generation
+
+    @classmethod
+    def create(
+        cls,
+        table_id: int,
+        name: str,
+        schema: Schema,
+        backend: Backend,
+        persistent_dict_index: bool = False,
+    ) -> "Table":
+        """New empty table (empty main, empty delta)."""
+        main = MainPartition.empty(schema, backend)
+        delta = DeltaPartition.create(
+            schema, backend, persistent_dict_index=persistent_dict_index
+        )
+        return cls(table_id, name, schema, backend, main, delta)
+
+    # ------------------------------------------------------------------
+    # Row addressing
+    # ------------------------------------------------------------------
+
+    @property
+    def main_row_count(self) -> int:
+        return self.main.row_count
+
+    @property
+    def delta_row_count(self) -> int:
+        return self.delta.row_count
+
+    @property
+    def row_count(self) -> int:
+        """Physical row-version count (including invisible versions)."""
+        return self.main_row_count + self.delta_row_count
+
+    def mvcc_for(self, ref: int) -> tuple[MvccColumns, int]:
+        """MVCC columns and local index for a packed row reference."""
+        is_delta, index = unpack_rowref(ref)
+        part = self.delta if is_delta else self.main
+        if index >= part.row_count:
+            raise IndexError(f"rowref {ref} out of range")
+        return part.mvcc, index
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def get_value(self, ref: int, col: int) -> Value:
+        """Value of one cell, ignoring visibility (caller filters)."""
+        is_delta, index = unpack_rowref(ref)
+        if is_delta:
+            return self.delta.get_value(col, index)
+        return self.main.get_value(col, index)
+
+    def get_row(self, ref: int) -> list[Value]:
+        """All column values of one row version."""
+        return [self.get_value(ref, c) for c in range(len(self.schema))]
+
+    def get_row_dict(self, ref: int) -> dict:
+        """Row version as a {column: value} dict."""
+        return dict(zip(self.schema.names, self.get_row(ref)))
+
+    # ------------------------------------------------------------------
+    # Writes (called by the transaction manager)
+    # ------------------------------------------------------------------
+
+    def insert_uncommitted(self, values: Sequence[Value], tid: int) -> int:
+        """Insert a row as uncommitted; returns its packed row reference."""
+        index = self.delta.insert_row(values, tid)
+        return pack_rowref(True, index)
+
+    def stats(self) -> dict:
+        """Size and compression statistics (for reports)."""
+        return {
+            "name": self.name,
+            "main_rows": self.main_row_count,
+            "delta_rows": self.delta_row_count,
+            "generation": self.generation,
+            "main_compressed_bytes": self.main.compressed_bytes(),
+            "dictionary_entries": {
+                "main": [len(c.dictionary) for c in self.main.columns],
+                "delta": [len(d) for d in self.delta.dictionaries],
+            },
+        }

@@ -1,0 +1,61 @@
+"""Column data types and value-level helpers."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional, Union
+
+Value = Optional[Union[int, float, str]]
+
+# Dictionary code reserved for SQL NULL. Codes are uint32; real codes
+# stay below this sentinel (dictionaries are capped accordingly).
+NULL_CODE = 2**32 - 1
+
+
+class DataType(Enum):
+    """Supported column types (dictionary-encoded like Hyrise)."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+
+    @property
+    def python_type(self) -> type:
+        return {
+            DataType.INT64: int,
+            DataType.FLOAT64: float,
+            DataType.STRING: str,
+        }[self]
+
+    def validate(self, value: Value) -> Value:
+        """Check (and mildly coerce) a value for this column type.
+
+        ``None`` is always accepted (NULL). Ints are accepted for FLOAT64
+        columns; bools are rejected for INT64 to avoid silent surprises.
+        """
+        if value is None:
+            return None
+        if self is DataType.INT64:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise TypeError(f"expected int, got {type(value).__name__}")
+            return value
+        if self is DataType.FLOAT64:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise TypeError(f"expected float, got {type(value).__name__}")
+            return float(value)
+        if not isinstance(value, str):
+            raise TypeError(f"expected str, got {type(value).__name__}")
+        return value
+
+
+_TYPE_TAGS = {DataType.INT64: 0, DataType.FLOAT64: 1, DataType.STRING: 2}
+_TAG_TYPES = {tag: dtype for dtype, tag in _TYPE_TAGS.items()}
+
+
+def type_tag(dtype: DataType) -> int:
+    """Stable small-integer tag used in serialised schemas."""
+    return _TYPE_TAGS[dtype]
+
+
+def type_from_tag(tag: int) -> DataType:
+    return _TAG_TYPES[tag]

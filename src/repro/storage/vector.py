@@ -1,0 +1,112 @@
+"""Vector abstraction shared by the volatile and NVM storage backends.
+
+:class:`~repro.nvm.pvector.PVector` (persistent) and
+:class:`VolatileVector` (DRAM) expose the same surface —
+``append``/``extend``/``get``/``set``/``__len__``/``to_numpy``/
+``iter_views`` — so partition code is written once and runs on either.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class VectorLike(Protocol):
+    """Structural interface required of column/MVCC vectors."""
+
+    def append(self, value) -> int: ...
+
+    def extend(self, values: np.ndarray) -> int: ...
+
+    def get(self, index: int): ...
+
+    def set(self, index: int, value, persist: bool = True) -> None: ...
+
+    def __len__(self) -> int: ...
+
+    def to_numpy(self) -> np.ndarray: ...
+
+    def iter_views(self) -> Iterator[np.ndarray]: ...
+
+
+class VolatileVector:
+    """Growable DRAM array with the :class:`VectorLike` interface.
+
+    Backed by an over-allocated numpy buffer (amortised O(1) appends),
+    exactly like the delta vectors of a DRAM-resident engine.
+    """
+
+    _INITIAL_CAPACITY = 64
+
+    def __init__(self, dtype: np.dtype):
+        self._dtype = np.dtype(dtype)
+        self._buf = np.empty(self._INITIAL_CAPACITY, dtype=self._dtype)
+        self._size = 0
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def nbytes(self) -> int:
+        """DRAM bytes held by the backing buffer."""
+        return self._buf.nbytes
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _reserve(self, extra: int) -> None:
+        needed = self._size + extra
+        if needed <= self._buf.size:
+            return
+        new_cap = max(self._buf.size * 2, needed)
+        grown = np.empty(new_cap, dtype=self._dtype)
+        grown[: self._size] = self._buf[: self._size]
+        self._buf = grown
+
+    def append(self, value) -> int:
+        """Append one element; returns its index."""
+        self._reserve(1)
+        self._buf[self._size] = value
+        self._size += 1
+        return self._size - 1
+
+    def extend(self, values: np.ndarray) -> int:
+        """Append a batch; returns the index of the first element."""
+        values = np.asarray(values, dtype=self._dtype)
+        first = self._size
+        self._reserve(values.size)
+        self._buf[first : first + values.size] = values
+        self._size += int(values.size)
+        return first
+
+    def get(self, index: int):
+        if index >= self._size:
+            raise IndexError(f"get({index}) beyond size {self._size}")
+        return self._buf[index]
+
+    def __getitem__(self, index: int):
+        return self.get(index)
+
+    def set(self, index: int, value, persist: bool = True) -> None:
+        """Overwrite an element; ``persist`` is a no-op for DRAM."""
+        if index >= self._size:
+            raise IndexError(f"set({index}) beyond size {self._size}")
+        self._buf[index] = value
+
+    def to_numpy(self) -> np.ndarray:
+        """Copy of the live contents."""
+        return self._buf[: self._size].copy()
+
+    def view(self) -> np.ndarray:
+        """Zero-copy read view of the live contents (do not mutate)."""
+        out = self._buf[: self._size]
+        out.flags.writeable = False
+        return out
+
+    def iter_views(self) -> Iterator[np.ndarray]:
+        if self._size:
+            yield self.view()

@@ -1,0 +1,77 @@
+"""Per-transaction volatile state."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.storage.table import Table, unpack_rowref
+
+
+class TxnState(Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionContext:
+    """Volatile bookkeeping for one transaction.
+
+    The durable twin of this object is the transaction-table slot; this
+    side holds the snapshot, the operation list mirror (so commit does
+    not re-read NVM), and the own-write sets used to adjust visibility.
+    """
+
+    def __init__(self, tid: int, snapshot_cid: int, slot: int):
+        self.tid = tid
+        self.snapshot_cid = snapshot_cid
+        self.slot = slot
+        self.state = TxnState.ACTIVE
+        self.ops: list[tuple[int, int, int]] = []  # (kind, table_id, ref)
+        self.own_inserted: dict[int, set[int]] = {}
+        self.own_invalidated: dict[int, set[int]] = {}
+        self.cid: int | None = None
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    @property
+    def is_read_only(self) -> bool:
+        return not self.ops
+
+    def note_insert(self, table_id: int, ref: int) -> None:
+        self.own_inserted.setdefault(table_id, set()).add(ref)
+
+    def note_invalidate(self, table_id: int, ref: int) -> None:
+        self.own_invalidated.setdefault(table_id, set()).add(ref)
+
+    def sees_own_insert(self, table_id: int, ref: int) -> bool:
+        return ref in self.own_inserted.get(table_id, ())
+
+    def sees_own_invalidation(self, table_id: int, ref: int) -> bool:
+        return ref in self.own_invalidated.get(table_id, ())
+
+    def row_visible(self, table: Table, ref: int) -> bool:
+        """Full visibility check for a single row version."""
+        if self.sees_own_invalidation(table.table_id, ref):
+            return False
+        if self.sees_own_insert(table.table_id, ref):
+            return True
+        mvcc, index = table.mvcc_for(ref)
+        begin = mvcc.get_begin(index)
+        end = mvcc.get_end(index)
+        return begin <= self.snapshot_cid < end
+
+    def adjust_masks(
+        self, table: Table, main_mask: np.ndarray, delta_mask: np.ndarray
+    ) -> None:
+        """Overlay own inserts/invalidations onto snapshot masks in place."""
+        table_id = table.table_id
+        for ref in self.own_inserted.get(table_id, ()):
+            is_delta, index = unpack_rowref(ref)
+            (delta_mask if is_delta else main_mask)[index] = True
+        for ref in self.own_invalidated.get(table_id, ()):
+            is_delta, index = unpack_rowref(ref)
+            (delta_mask if is_delta else main_mask)[index] = False

@@ -1,0 +1,17 @@
+"""Transaction-layer exceptions."""
+
+
+class TransactionError(Exception):
+    """Base class for transaction failures."""
+
+
+class TransactionConflict(TransactionError):
+    """Write-write conflict: the row is locked or already invalidated."""
+
+
+class TransactionAborted(TransactionError):
+    """Operation attempted on a transaction that is no longer active."""
+
+
+class TooManyActiveTransactions(TransactionError):
+    """The transaction table has no free slots."""

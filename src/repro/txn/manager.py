@@ -1,0 +1,270 @@
+"""Transaction manager: MVCC protocol over main/delta tables.
+
+The manager is storage-agnostic (works on volatile or NVM tables) and
+log-agnostic (an optional WAL hook receives every operation). The
+durable commit point depends on the engine mode:
+
+* **NVM** — the transaction-table slot's ``COMMITTING`` state store;
+* **LOG** — the WAL commit record reaching disk (per the group-commit
+  policy);
+* **NONE** — nothing is durable; commit is only an MVCC state change.
+
+Updates follow Hyrise's insert-only approach: the old row version is
+invalidated (``end_cid``) and a new version is inserted into the delta.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, Sequence
+
+from repro.storage.mvcc import INFINITY_CID, NO_TID
+from repro.storage.table import Table, unpack_rowref
+from repro.storage.types import Value
+from repro.txn.context import TransactionContext, TxnState
+from repro.txn.errors import TransactionAborted, TransactionConflict
+from repro.txn.txn_table import OP_INSERT, OP_INVALIDATE
+
+
+class CidStore(Protocol):
+    """Holder of the global last-committed commit id."""
+
+    @property
+    def last_cid(self) -> int: ...
+
+    def advance(self, cid: int) -> None: ...
+
+
+class VolatileCidStore:
+    """DRAM cid store (LOG / NONE modes)."""
+
+    def __init__(self, last_cid: int = 0):
+        self._last = last_cid
+
+    @property
+    def last_cid(self) -> int:
+        return self._last
+
+    def advance(self, cid: int) -> None:
+        if cid > self._last:
+            self._last = cid
+
+
+class TidAllocator(Protocol):
+    """Source of unique transaction ids."""
+
+    def next(self) -> int: ...
+
+
+class VolatileTidAllocator:
+    """Monotonic tids starting at 1 (0 is :data:`NO_TID`)."""
+
+    def __init__(self, start: int = 1):
+        self._next = max(start, 1)
+
+    def next(self) -> int:
+        tid = self._next
+        self._next += 1
+        return tid
+
+
+class WalHook(Protocol):
+    """Interface the WAL module implements to observe transactions."""
+
+    def log_insert(self, tid: int, table_id: int, values: Sequence[Value]) -> None: ...
+
+    def log_invalidate(self, tid: int, table_id: int, ref: int) -> None: ...
+
+    def log_commit(self, tid: int, cid: int) -> None: ...
+
+    def log_abort(self, tid: int) -> None: ...
+
+
+class TransactionManager:
+    """Coordinates begin/insert/update/delete/commit/abort."""
+
+    def __init__(
+        self,
+        txn_table,
+        cid_store: CidStore,
+        tid_allocator: TidAllocator,
+        table_lookup: Callable[[int], Table],
+        wal: Optional[WalHook] = None,
+    ):
+        self._txn_table = txn_table
+        self._cids = cid_store
+        self._tids = tid_allocator
+        self._table_lookup = table_lookup
+        self._wal = wal
+        self.active: dict[int, TransactionContext] = {}
+        self.commits = 0
+        self.aborts = 0
+        self.conflicts = 0
+
+    @property
+    def last_cid(self) -> int:
+        return self._cids.last_cid
+
+    @property
+    def active_count(self) -> int:
+        return len(self.active)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self) -> TransactionContext:
+        """Start a transaction with a snapshot of the current commit id."""
+        tid = self._tids.next()
+        slot = self._txn_table.begin(tid)
+        ctx = TransactionContext(tid, self._cids.last_cid, slot)
+        self.active[tid] = ctx
+        return ctx
+
+    def _require_active(self, ctx: TransactionContext) -> None:
+        if not ctx.is_active:
+            raise TransactionAborted(f"transaction {ctx.tid} is {ctx.state.value}")
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert(
+        self, ctx: TransactionContext, table: Table, values: Sequence[Value]
+    ) -> int:
+        """Insert one row (values in schema order); returns its rowref."""
+        self._require_active(ctx)
+        ref = table.insert_uncommitted(values, ctx.tid)
+        self._txn_table.record(ctx.slot, OP_INSERT, table.table_id, ref)
+        if self._wal is not None:
+            self._wal.log_insert(ctx.tid, table.table_id, values)
+        ctx.ops.append((OP_INSERT, table.table_id, ref))
+        ctx.note_insert(table.table_id, ref)
+        return ref
+
+    def insert_row(self, ctx: TransactionContext, table: Table, row: dict) -> int:
+        """Insert one {column: value} row."""
+        return self.insert(ctx, table, table.schema.validate_row(row))
+
+    def invalidate(self, ctx: TransactionContext, table: Table, ref: int) -> None:
+        """Delete a visible row version (lock it and mark for end_cid).
+
+        Raises :class:`TransactionConflict` when the row is locked by
+        another transaction or no longer visible.
+        """
+        self._require_active(ctx)
+        if not ctx.row_visible(table, ref):
+            self.conflicts += 1
+            raise TransactionConflict(f"row {ref} not visible to txn {ctx.tid}")
+        mvcc, index = table.mvcc_for(ref)
+        owner = mvcc.get_tid(index)
+        if owner not in (NO_TID, ctx.tid):
+            self.conflicts += 1
+            raise TransactionConflict(
+                f"row {ref} locked by txn {owner} (we are {ctx.tid})"
+            )
+        if mvcc.get_end(index) != INFINITY_CID:
+            self.conflicts += 1
+            raise TransactionConflict(f"row {ref} already invalidated")
+        # Record first (write-ahead), then take the lock: a crash in
+        # between rolls back to a no-op (tid is still NO_TID).
+        self._txn_table.record(ctx.slot, OP_INVALIDATE, table.table_id, ref)
+        mvcc.set_tid(index, ctx.tid)
+        if self._wal is not None:
+            self._wal.log_invalidate(ctx.tid, table.table_id, ref)
+        ctx.ops.append((OP_INVALIDATE, table.table_id, ref))
+        ctx.note_invalidate(table.table_id, ref)
+
+    def update(
+        self, ctx: TransactionContext, table: Table, ref: int, changes: dict
+    ) -> int:
+        """Insert-only update: invalidate ``ref``, insert the new version.
+
+        Returns the new row's rowref.
+        """
+        self._require_active(ctx)
+        unknown = set(changes) - set(table.schema.names)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)}")
+        old_values = table.get_row(ref)
+        self.invalidate(ctx, table, ref)
+        new_values = list(old_values)
+        for name, value in changes.items():
+            idx = table.schema.column_index(name)
+            new_values[idx] = table.schema.columns[idx].dtype.validate(value)
+        return self.insert(ctx, table, new_values)
+
+    # ------------------------------------------------------------------
+    # Commit / abort
+    # ------------------------------------------------------------------
+
+    def commit(self, ctx: TransactionContext) -> Optional[int]:
+        """Commit; returns the commit id (None for read-only)."""
+        self._require_active(ctx)
+        if ctx.is_read_only:
+            ctx.state = TxnState.COMMITTED
+            self._txn_table.mark_free(ctx.slot)
+            del self.active[ctx.tid]
+            self.commits += 1
+            return None
+        cid = self._cids.last_cid + 1
+        if self._wal is not None:
+            # Durable point for the log-based engine.
+            self._wal.log_commit(ctx.tid, cid)
+        # Durable point for the NVM engine: COMMITTING state store.
+        self._txn_table.set_committing(ctx.slot, cid)
+        apply_operations(self._table_lookup, ctx.ops, cid)
+        self._cids.advance(cid)
+        self._txn_table.mark_free(ctx.slot)
+        ctx.state = TxnState.COMMITTED
+        ctx.cid = cid
+        del self.active[ctx.tid]
+        self.commits += 1
+        return cid
+
+    def abort(self, ctx: TransactionContext) -> None:
+        """Roll back every operation and release the slot."""
+        self._require_active(ctx)
+        rollback_operations(self._table_lookup, ctx.ops)
+        if self._wal is not None:
+            self._wal.log_abort(ctx.tid)
+        self._txn_table.mark_free(ctx.slot)
+        ctx.state = TxnState.ABORTED
+        del self.active[ctx.tid]
+        self.aborts += 1
+
+
+def apply_operations(
+    table_lookup: Callable[[int], Table],
+    ops: Sequence[tuple[int, int, int]],
+    cid: int,
+) -> None:
+    """Write commit ids into MVCC columns (idempotent — used by redo)."""
+    for kind, table_id, ref in ops:
+        table = table_lookup(table_id)
+        mvcc, index = table.mvcc_for(ref)
+        if kind == OP_INSERT:
+            mvcc.set_begin(index, cid)
+            mvcc.set_tid(index, NO_TID)
+        else:
+            mvcc.set_end(index, cid)
+            mvcc.set_tid(index, NO_TID)
+
+
+def rollback_operations(
+    table_lookup: Callable[[int], Table],
+    ops: Sequence[tuple[int, int, int]],
+) -> None:
+    """Undo uncommitted operations (idempotent — used by recovery).
+
+    Inserted rows keep ``begin_cid == INF`` forever (invisible garbage
+    collected by the next merge); invalidation locks are released.
+    """
+    for kind, table_id, ref in ops:
+        table = table_lookup(table_id)
+        is_delta, index = unpack_rowref(ref)
+        part = table.delta if is_delta else table.main
+        if index >= part.row_count:
+            # The operation's data mutation never published (crash
+            # between the undo record and the data write).
+            continue
+        part.mvcc.set_tid(index, NO_TID)

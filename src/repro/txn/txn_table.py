@@ -1,0 +1,268 @@
+"""Transaction tables: the durable registry of in-flight transactions.
+
+:class:`PersistentTxnTable` lives on NVM. Each transaction occupies one
+fixed slot holding its state, tid, commit id, and a chained list of
+operation records (write-ahead undo/redo information). The slot's
+``state`` field is an 8-byte atomic store:
+
+* ``ACTIVE -> COMMITTING`` (with the cid already persisted in the slot)
+  is the durable **commit point**;
+* recovery rolls ACTIVE slots back and COMMITTING slots forward, work
+  bounded by the number of in-flight transactions — the reason restart
+  cost is independent of dataset size.
+
+:class:`VolatileTxnTable` is the DRAM twin used by the log-based
+baseline (its durability comes from the WAL instead).
+
+Layout::
+
+    table header (64 B):       +0 slot_count
+    slot i (64 B each):        +0 state  +8 tid  +16 cid
+                               +24 undo_head  +32 reserved
+    undo chunk (16 + 32*24 B): +0 next  +8 count
+                               +16 records, each [kind, table_id, rowref]
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nvm.pool import PMemPool
+from repro.txn.errors import TooManyActiveTransactions
+
+SLOT_FREE = 0
+SLOT_ACTIVE = 1
+SLOT_COMMITTING = 2
+
+OP_INSERT = 1
+OP_INVALIDATE = 2
+
+_SLOT_BYTES = 64
+_S_STATE = 0
+_S_TID = 8
+_S_CID = 16
+_S_UNDO = 24
+
+_CHUNK_RECORDS = 32
+_RECORD_BYTES = 24
+_CHUNK_BYTES = 16 + _CHUNK_RECORDS * _RECORD_BYTES
+_C_NEXT = 0
+_C_COUNT = 8
+
+DEFAULT_SLOTS = 256
+
+
+class PersistentTxnTable:
+    """Fixed-slot transaction table on NVM."""
+
+    def __init__(self, pool: PMemPool, offset: int):
+        self._pool = pool
+        self.offset = offset
+        self.slot_count = pool.read_u64(offset)
+        # Volatile caches: free slots and, per busy slot, the offset of
+        # the last undo chunk (for O(1) appends).
+        self._free: list[int] = [
+            i for i in range(self.slot_count)
+            if pool.read_u64(self._slot(i) + _S_STATE) == SLOT_FREE
+        ]
+        self._tail_chunk: dict[int, int] = {}
+        self._chunk_pool: list[int] = []
+
+    @classmethod
+    def create(cls, pool: PMemPool, slot_count: int = DEFAULT_SLOTS) -> "PersistentTxnTable":
+        """Allocate and zero a fresh transaction table."""
+        nbytes = 64 + slot_count * _SLOT_BYTES
+        offset = pool.allocate(nbytes)
+        pool.write(offset, b"\x00" * nbytes)
+        pool.write_u64(offset, slot_count)
+        pool.persist(offset, nbytes)
+        return cls(pool, offset)
+
+    @classmethod
+    def attach(cls, pool: PMemPool, offset: int) -> "PersistentTxnTable":
+        """Re-open after restart (recovery then inspects ``in_flight``)."""
+        return cls(pool, offset)
+
+    def _slot(self, index: int) -> int:
+        return self.offset + 64 + index * _SLOT_BYTES
+
+    # ------------------------------------------------------------------
+    # Slot lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, tid: int) -> int:
+        """Claim a slot for transaction ``tid``; returns the slot index."""
+        if not self._free:
+            raise TooManyActiveTransactions(
+                f"all {self.slot_count} transaction slots in use"
+            )
+        index = self._free.pop()
+        slot = self._slot(index)
+        pool = self._pool
+        pool.write_u64(slot + _S_TID, tid)
+        pool.write_u64(slot + _S_CID, 0)
+        pool.write_u64(slot + _S_UNDO, 0)
+        pool.persist(slot + _S_TID, 24)
+        pool.write_u64(slot + _S_STATE, SLOT_ACTIVE)
+        pool.persist(slot + _S_STATE, 8)
+        return index
+
+    def record(self, index: int, kind: int, table_id: int, rowref: int) -> None:
+        """Durably append one operation record to the slot's chain."""
+        pool = self._pool
+        slot = self._slot(index)
+        tail = self._tail_chunk.get(index, 0)
+        if tail == 0:
+            tail = self._new_chunk()
+            pool.write_u64(slot + _S_UNDO, tail)
+            pool.persist(slot + _S_UNDO, 8)
+            self._tail_chunk[index] = tail
+        count = pool.read_u64(tail + _C_COUNT)
+        if count == _CHUNK_RECORDS:
+            fresh = self._new_chunk()
+            pool.write_u64(tail + _C_NEXT, fresh)
+            pool.persist(tail + _C_NEXT, 8)
+            self._tail_chunk[index] = fresh
+            tail = fresh
+            count = 0
+        rec = tail + 16 + count * _RECORD_BYTES
+        pool.write_u64(rec, kind)
+        pool.write_u64(rec + 8, table_id)
+        pool.write_u64(rec + 16, rowref)
+        pool.persist(rec, _RECORD_BYTES)
+        pool.write_u64(tail + _C_COUNT, count + 1)
+        pool.persist(tail + _C_COUNT, 8)
+
+    def _new_chunk(self) -> int:
+        if self._chunk_pool:
+            chunk = self._chunk_pool.pop()
+        else:
+            chunk = self._pool.allocate(_CHUNK_BYTES)
+        self._pool.write(chunk, b"\x00" * 16)
+        self._pool.persist(chunk, 16)
+        return chunk
+
+    def set_committing(self, index: int, cid: int) -> None:
+        """Durable commit point: persist the cid, then flip the state."""
+        pool = self._pool
+        slot = self._slot(index)
+        pool.write_u64(slot + _S_CID, cid)
+        pool.persist(slot + _S_CID, 8)
+        pool.write_u64(slot + _S_STATE, SLOT_COMMITTING)
+        pool.persist(slot + _S_STATE, 8)
+
+    def mark_free(self, index: int) -> None:
+        """Release a slot after commit apply or rollback.
+
+        The slot's undo chunks are recycled onto a volatile free list
+        only after the FREE state is durable, so a crash can never hand
+        a chunk to two transactions.
+        """
+        slot = self._slot(index)
+        pool = self._pool
+        chunk = pool.read_u64(slot + _S_UNDO)
+        pool.write_u64(slot + _S_STATE, SLOT_FREE)
+        pool.persist(slot + _S_STATE, 8)
+        while chunk:
+            self._chunk_pool.append(chunk)
+            chunk = pool.read_u64(chunk + _C_NEXT)
+        self._tail_chunk.pop(index, None)
+        self._free.append(index)
+
+    # ------------------------------------------------------------------
+    # Introspection (recovery)
+    # ------------------------------------------------------------------
+
+    def state(self, index: int) -> int:
+        return self._pool.read_u64(self._slot(index) + _S_STATE)
+
+    def tid(self, index: int) -> int:
+        return self._pool.read_u64(self._slot(index) + _S_TID)
+
+    def cid(self, index: int) -> int:
+        return self._pool.read_u64(self._slot(index) + _S_CID)
+
+    def records(self, index: int) -> list[tuple[int, int, int]]:
+        """All durable operation records of a slot, in append order."""
+        pool = self._pool
+        out = []
+        chunk = pool.read_u64(self._slot(index) + _S_UNDO)
+        while chunk:
+            count = pool.read_u64(chunk + _C_COUNT)
+            for i in range(count):
+                rec = chunk + 16 + i * _RECORD_BYTES
+                out.append(
+                    (
+                        pool.read_u64(rec),
+                        pool.read_u64(rec + 8),
+                        pool.read_u64(rec + 16),
+                    )
+                )
+            chunk = pool.read_u64(chunk + _C_NEXT)
+        return out
+
+    def in_flight(self) -> Iterator[tuple[int, int, int, int]]:
+        """Yield (slot, state, tid, cid) for every non-FREE slot."""
+        for i in range(self.slot_count):
+            state = self.state(i)
+            if state != SLOT_FREE:
+                yield i, state, self.tid(i), self.cid(i)
+
+
+class VolatileTxnTable:
+    """DRAM transaction table for the log-based baseline.
+
+    Mirrors the persistent interface so the transaction manager is
+    agnostic; contents simply vanish with the process (the WAL carries
+    the durable information instead).
+    """
+
+    def __init__(self, slot_count: int = DEFAULT_SLOTS):
+        self.slot_count = slot_count
+        self._free = list(range(slot_count))
+        self._state = [SLOT_FREE] * slot_count
+        self._tid = [0] * slot_count
+        self._cid = [0] * slot_count
+        self._records: list[list[tuple[int, int, int]]] = [
+            [] for _ in range(slot_count)
+        ]
+
+    def begin(self, tid: int) -> int:
+        if not self._free:
+            raise TooManyActiveTransactions(
+                f"all {self.slot_count} transaction slots in use"
+            )
+        index = self._free.pop()
+        self._state[index] = SLOT_ACTIVE
+        self._tid[index] = tid
+        self._cid[index] = 0
+        self._records[index] = []
+        return index
+
+    def record(self, index: int, kind: int, table_id: int, rowref: int) -> None:
+        self._records[index].append((kind, table_id, rowref))
+
+    def set_committing(self, index: int, cid: int) -> None:
+        self._cid[index] = cid
+        self._state[index] = SLOT_COMMITTING
+
+    def mark_free(self, index: int) -> None:
+        self._state[index] = SLOT_FREE
+        self._free.append(index)
+
+    def state(self, index: int) -> int:
+        return self._state[index]
+
+    def tid(self, index: int) -> int:
+        return self._tid[index]
+
+    def cid(self, index: int) -> int:
+        return self._cid[index]
+
+    def records(self, index: int) -> list[tuple[int, int, int]]:
+        return list(self._records[index])
+
+    def in_flight(self) -> Iterator[tuple[int, int, int, int]]:
+        for i in range(self.slot_count):
+            if self._state[i] != SLOT_FREE:
+                yield i, self._state[i], self._tid[i], self._cid[i]

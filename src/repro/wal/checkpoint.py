@@ -1,0 +1,307 @@
+"""Checkpoints: full binary snapshots of a quiesced database.
+
+A checkpoint bounds log replay: restart loads the snapshot and replays
+only the log tail past the recorded LSN. The file layout preserves the
+*physical* row placement (including uncommitted garbage rows), because
+rowrefs in post-checkpoint log records address that placement.
+
+Format (little endian)::
+
+    u64 magic | u64 last_cid | u64 lsn | u64 next_table_id
+    u64 table_count | u32 body_crc
+    table*: see ``_write_table``
+
+Written atomically via a temp file + rename.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.backend import Backend
+from repro.storage.delta import DeltaPartition
+from repro.storage.dictionary import SortedDictionary, UnsortedDictionary
+from repro.storage.main import MainColumn, MainPartition
+from repro.storage.mvcc import MvccColumns, NO_TID
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+_MAGIC = 0x48595243_4B505431  # "HYRCKPT1"
+
+
+@dataclass
+class MainColumnSnapshot:
+    dict_values: list
+    bits: int
+    words: np.ndarray  # uint64, packed codes
+
+
+@dataclass
+class DeltaColumnSnapshot:
+    dict_values: list
+    codes: np.ndarray  # uint32
+
+
+@dataclass
+class TableSnapshot:
+    table_id: int
+    name: str
+    schema_blob: bytes
+    main_row_count: int
+    main_columns: list[MainColumnSnapshot]
+    main_begin: np.ndarray
+    main_end: np.ndarray
+    delta_row_count: int
+    delta_columns: list[DeltaColumnSnapshot]
+    delta_begin: np.ndarray
+    delta_end: np.ndarray
+
+    @property
+    def schema(self) -> Schema:
+        return Schema.from_bytes(self.schema_blob)
+
+
+@dataclass
+class CheckpointData:
+    last_cid: int
+    lsn: int
+    next_table_id: int
+    tables: list[TableSnapshot] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Snapshot capture / restore
+# ----------------------------------------------------------------------
+
+
+def snapshot_table(table: Table) -> TableSnapshot:
+    """Capture one table's full physical state (quiesced)."""
+    main = table.main
+    delta = table.delta
+    return TableSnapshot(
+        table_id=table.table_id,
+        name=table.name,
+        schema_blob=table.schema.to_bytes(),
+        main_row_count=main.row_count,
+        main_columns=[
+            MainColumnSnapshot(
+                dict_values=col.dictionary.values_list(),
+                bits=col.bits,
+                words=col.words.to_numpy(),
+            )
+            for col in main.columns
+        ],
+        main_begin=main.mvcc.begin_array(),
+        main_end=main.mvcc.end_array(),
+        delta_row_count=delta.row_count,
+        delta_columns=[
+            DeltaColumnSnapshot(
+                dict_values=delta.dictionaries[ci].values_list(),
+                codes=delta.column_codes(ci),
+            )
+            for ci in range(len(table.schema))
+        ],
+        delta_begin=delta.mvcc.begin_array()[: delta.row_count],
+        delta_end=delta.mvcc.end_array()[: delta.row_count],
+    )
+
+
+def restore_table(snapshot: TableSnapshot, backend: Backend) -> Table:
+    """Rebuild a table (on DRAM) from its snapshot."""
+    schema = snapshot.schema
+    main_columns = []
+    for col_def, col_snap in zip(schema, snapshot.main_columns):
+        dictionary = SortedDictionary.build(
+            col_def.dtype, backend, col_snap.dict_values
+        )
+        words_vec = backend.make_vector(np.uint64)
+        if col_snap.words.size:
+            words_vec.extend(col_snap.words)
+        main_columns.append(
+            MainColumn(dictionary, words_vec, col_snap.bits, snapshot.main_row_count)
+        )
+    main_mvcc = MvccColumns.create(backend)
+    if snapshot.main_row_count:
+        main_mvcc.extend_committed(snapshot.main_begin, snapshot.main_end)
+    main = MainPartition(schema, main_columns, main_mvcc, snapshot.main_row_count)
+
+    dictionaries = [
+        UnsortedDictionary.from_values(col_def.dtype, backend, col_snap.dict_values)
+        for col_def, col_snap in zip(schema, snapshot.delta_columns)
+    ]
+    code_vectors = []
+    for col_snap in snapshot.delta_columns:
+        vec = backend.make_vector(np.uint32)
+        if col_snap.codes.size:
+            vec.extend(col_snap.codes)
+        code_vectors.append(vec)
+    delta_mvcc = MvccColumns.create(backend)
+    if snapshot.delta_row_count:
+        delta_mvcc.end.extend(snapshot.delta_end)
+        delta_mvcc.tid.extend(
+            np.full(snapshot.delta_row_count, NO_TID, dtype=np.uint64)
+        )
+        delta_mvcc.begin.extend(snapshot.delta_begin)
+    delta = DeltaPartition(schema, backend, dictionaries, code_vectors, delta_mvcc)
+    return Table(snapshot.table_id, snapshot.name, schema, backend, main, delta)
+
+
+# ----------------------------------------------------------------------
+# Binary encoding
+# ----------------------------------------------------------------------
+
+
+def _write_values(out: io.BytesIO, dtype: DataType, values: list) -> None:
+    out.write(struct.pack("<Q", len(values)))
+    if dtype is DataType.INT64:
+        out.write(np.asarray(values, dtype=np.int64).tobytes())
+    elif dtype is DataType.FLOAT64:
+        out.write(np.asarray(values, dtype=np.float64).tobytes())
+    else:
+        for value in values:
+            raw = value.encode("utf-8")
+            out.write(struct.pack("<I", len(raw)))
+            out.write(raw)
+
+
+def _read_values(buf: memoryview, pos: int, dtype: DataType) -> tuple[list, int]:
+    (count,) = struct.unpack_from("<Q", buf, pos)
+    pos += 8
+    if dtype is DataType.INT64:
+        arr = np.frombuffer(buf[pos : pos + count * 8], dtype=np.int64)
+        return [int(v) for v in arr], pos + count * 8
+    if dtype is DataType.FLOAT64:
+        arr = np.frombuffer(buf[pos : pos + count * 8], dtype=np.float64)
+        return [float(v) for v in arr], pos + count * 8
+    values = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("<I", buf, pos)
+        pos += 4
+        values.append(bytes(buf[pos : pos + length]).decode("utf-8"))
+        pos += length
+    return values, pos
+
+
+def _write_array(out: io.BytesIO, arr: np.ndarray) -> None:
+    out.write(struct.pack("<Q", arr.size))
+    out.write(np.ascontiguousarray(arr).tobytes())
+
+
+def _read_array(buf: memoryview, pos: int, dtype) -> tuple[np.ndarray, int]:
+    (count,) = struct.unpack_from("<Q", buf, pos)
+    pos += 8
+    itemsize = np.dtype(dtype).itemsize
+    arr = np.frombuffer(buf[pos : pos + count * itemsize], dtype=dtype).copy()
+    return arr, pos + count * itemsize
+
+
+def _write_table(out: io.BytesIO, snap: TableSnapshot) -> None:
+    name_raw = snap.name.encode("utf-8")
+    out.write(struct.pack("<QH", snap.table_id, len(name_raw)))
+    out.write(name_raw)
+    out.write(struct.pack("<I", len(snap.schema_blob)))
+    out.write(snap.schema_blob)
+    schema = snap.schema
+    out.write(struct.pack("<Q", snap.main_row_count))
+    for col_def, col in zip(schema, snap.main_columns):
+        out.write(struct.pack("<Q", col.bits))
+        _write_array(out, col.words)
+        _write_values(out, col_def.dtype, col.dict_values)
+    _write_array(out, snap.main_begin)
+    _write_array(out, snap.main_end)
+    out.write(struct.pack("<Q", snap.delta_row_count))
+    for col_def, dcol in zip(schema, snap.delta_columns):
+        _write_array(out, dcol.codes)
+        _write_values(out, col_def.dtype, dcol.dict_values)
+    _write_array(out, snap.delta_begin)
+    _write_array(out, snap.delta_end)
+
+
+def _read_table(buf: memoryview, pos: int) -> tuple[TableSnapshot, int]:
+    table_id, name_len = struct.unpack_from("<QH", buf, pos)
+    pos += 10
+    name = bytes(buf[pos : pos + name_len]).decode("utf-8")
+    pos += name_len
+    (blob_len,) = struct.unpack_from("<I", buf, pos)
+    pos += 4
+    schema_blob = bytes(buf[pos : pos + blob_len])
+    pos += blob_len
+    schema = Schema.from_bytes(schema_blob)
+    (main_rows,) = struct.unpack_from("<Q", buf, pos)
+    pos += 8
+    main_cols = []
+    for col_def in schema:
+        (bits,) = struct.unpack_from("<Q", buf, pos)
+        pos += 8
+        words, pos = _read_array(buf, pos, np.uint64)
+        values, pos = _read_values(buf, pos, col_def.dtype)
+        main_cols.append(MainColumnSnapshot(values, bits, words))
+    main_begin, pos = _read_array(buf, pos, np.uint64)
+    main_end, pos = _read_array(buf, pos, np.uint64)
+    (delta_rows,) = struct.unpack_from("<Q", buf, pos)
+    pos += 8
+    delta_cols = []
+    for col_def in schema:
+        codes, pos = _read_array(buf, pos, np.uint32)
+        values, pos = _read_values(buf, pos, col_def.dtype)
+        delta_cols.append(DeltaColumnSnapshot(values, codes))
+    delta_begin, pos = _read_array(buf, pos, np.uint64)
+    delta_end, pos = _read_array(buf, pos, np.uint64)
+    snap = TableSnapshot(
+        table_id, name, schema_blob,
+        main_rows, main_cols, main_begin, main_end,
+        delta_rows, delta_cols, delta_begin, delta_end,
+    )
+    return snap, pos
+
+
+def write_checkpoint(data: CheckpointData, path: str) -> int:
+    """Atomically write a checkpoint; returns bytes written."""
+    body = io.BytesIO()
+    for snap in data.tables:
+        _write_table(body, snap)
+    body_bytes = body.getvalue()
+    header = struct.pack(
+        "<QQQQQI",
+        _MAGIC,
+        data.last_cid,
+        data.lsn,
+        data.next_table_id,
+        len(data.tables),
+        zlib.crc32(body_bytes),
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(header)
+        f.write(body_bytes)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return len(header) + len(body_bytes)
+
+
+def read_checkpoint(path: str) -> CheckpointData:
+    """Load and validate a checkpoint file."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    magic, last_cid, lsn, next_table_id, table_count, crc = struct.unpack_from(
+        "<QQQQQI", raw, 0
+    )
+    if magic != _MAGIC:
+        raise ValueError(f"{path} is not a checkpoint file")
+    body = memoryview(raw)[struct.calcsize("<QQQQQI"):]
+    if zlib.crc32(body) != crc:
+        raise ValueError(f"{path} failed CRC validation")
+    data = CheckpointData(last_cid, lsn, next_table_id)
+    pos = 0
+    for _ in range(table_count):
+        snap, pos = _read_table(body, pos)
+        data.tables.append(snap)
+    return data

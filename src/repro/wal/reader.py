@@ -1,0 +1,32 @@
+"""Log reading: iterate framed records, stopping at the torn tail."""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator
+
+from repro.wal.records import LogRecord, decode_record
+
+
+def read_log(path: str, start_lsn: int = 0) -> Iterator[tuple[LogRecord, int]]:
+    """Yield (record, end_lsn) from ``start_lsn`` until EOF or corruption.
+
+    ``end_lsn`` is the byte offset just past the record — the LSN a
+    checkpoint taken after applying it should store.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as f:
+        buffer = f.read()
+    pos = start_lsn
+    while True:
+        decoded = decode_record(buffer, pos)
+        if decoded is None:
+            return
+        record, pos = decoded
+        yield record, pos
+
+
+def count_records(path: str, start_lsn: int = 0) -> int:
+    """Number of intact records from ``start_lsn``."""
+    return sum(1 for _ in read_log(path, start_lsn))

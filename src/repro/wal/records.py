@@ -1,0 +1,208 @@
+"""Binary log record formats.
+
+Every record is framed as::
+
+    u32 payload_length | u32 crc32(payload) | payload
+
+where the payload starts with a u8 record type. The CRC detects the torn
+tail a crash leaves behind; replay stops at the first bad frame. Values
+are serialised self-describingly (kind byte per value), so replay does
+not need the schema in hand to parse a record.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+from repro.storage.types import Value
+
+TYPE_INSERT = 1
+TYPE_INVALIDATE = 2
+TYPE_COMMIT = 3
+TYPE_ABORT = 4
+TYPE_CREATE_TABLE = 5
+TYPE_DROP_TABLE = 6
+
+_KIND_NULL = 0
+_KIND_INT = 1
+_KIND_FLOAT = 2
+_KIND_STR = 3
+
+
+@dataclass(frozen=True)
+class InsertRecord:
+    tid: int
+    table_id: int
+    values: tuple
+
+
+@dataclass(frozen=True)
+class InvalidateRecord:
+    tid: int
+    table_id: int
+    ref: int
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    tid: int
+    cid: int
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    tid: int
+
+
+@dataclass(frozen=True)
+class CreateTableRecord:
+    table_id: int
+    name: str
+    schema_blob: bytes
+
+
+@dataclass(frozen=True)
+class DropTableRecord:
+    table_id: int
+
+
+LogRecord = Union[
+    InsertRecord,
+    InvalidateRecord,
+    CommitRecord,
+    AbortRecord,
+    CreateTableRecord,
+    DropTableRecord,
+]
+
+
+def _encode_values(values: Sequence[Value]) -> bytes:
+    parts = [struct.pack("<H", len(values))]
+    for value in values:
+        if value is None:
+            parts.append(struct.pack("<B", _KIND_NULL))
+        elif isinstance(value, bool):
+            raise TypeError("bool values are not loggable")
+        elif isinstance(value, int):
+            parts.append(struct.pack("<Bq", _KIND_INT, value))
+        elif isinstance(value, float):
+            parts.append(struct.pack("<Bd", _KIND_FLOAT, value))
+        elif isinstance(value, str):
+            raw = value.encode("utf-8")
+            parts.append(struct.pack("<BI", _KIND_STR, len(raw)))
+            parts.append(raw)
+        else:
+            raise TypeError(f"unsupported value type {type(value).__name__}")
+    return b"".join(parts)
+
+
+def _decode_values(payload: bytes, pos: int) -> tuple[tuple, int]:
+    (count,) = struct.unpack_from("<H", payload, pos)
+    pos += 2
+    values = []
+    for _ in range(count):
+        (kind,) = struct.unpack_from("<B", payload, pos)
+        pos += 1
+        if kind == _KIND_NULL:
+            values.append(None)
+        elif kind == _KIND_INT:
+            (v,) = struct.unpack_from("<q", payload, pos)
+            values.append(v)
+            pos += 8
+        elif kind == _KIND_FLOAT:
+            (v,) = struct.unpack_from("<d", payload, pos)
+            values.append(v)
+            pos += 8
+        elif kind == _KIND_STR:
+            (length,) = struct.unpack_from("<I", payload, pos)
+            pos += 4
+            values.append(payload[pos : pos + length].decode("utf-8"))
+            pos += length
+        else:
+            raise ValueError(f"bad value kind {kind}")
+    return tuple(values), pos
+
+
+def _payload(record: LogRecord) -> bytes:
+    if isinstance(record, InsertRecord):
+        return (
+            struct.pack("<BQQ", TYPE_INSERT, record.tid, record.table_id)
+            + _encode_values(record.values)
+        )
+    if isinstance(record, InvalidateRecord):
+        return struct.pack(
+            "<BQQQ", TYPE_INVALIDATE, record.tid, record.table_id, record.ref
+        )
+    if isinstance(record, CommitRecord):
+        return struct.pack("<BQQ", TYPE_COMMIT, record.tid, record.cid)
+    if isinstance(record, AbortRecord):
+        return struct.pack("<BQ", TYPE_ABORT, record.tid)
+    if isinstance(record, CreateTableRecord):
+        name_raw = record.name.encode("utf-8")
+        return (
+            struct.pack("<BQH", TYPE_CREATE_TABLE, record.table_id, len(name_raw))
+            + name_raw
+            + struct.pack("<I", len(record.schema_blob))
+            + record.schema_blob
+        )
+    if isinstance(record, DropTableRecord):
+        return struct.pack("<BQ", TYPE_DROP_TABLE, record.table_id)
+    raise TypeError(f"unknown record {record!r}")
+
+
+def encode_record(record: LogRecord) -> bytes:
+    """Frame a record for appending to the log."""
+    payload = _payload(record)
+    return struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> LogRecord:
+    """Parse one (already CRC-checked) payload."""
+    (rtype,) = struct.unpack_from("<B", payload, 0)
+    if rtype == TYPE_INSERT:
+        tid, table_id = struct.unpack_from("<QQ", payload, 1)
+        values, _ = _decode_values(payload, 17)
+        return InsertRecord(tid, table_id, values)
+    if rtype == TYPE_INVALIDATE:
+        tid, table_id, ref = struct.unpack_from("<QQQ", payload, 1)
+        return InvalidateRecord(tid, table_id, ref)
+    if rtype == TYPE_COMMIT:
+        tid, cid = struct.unpack_from("<QQ", payload, 1)
+        return CommitRecord(tid, cid)
+    if rtype == TYPE_ABORT:
+        (tid,) = struct.unpack_from("<Q", payload, 1)
+        return AbortRecord(tid)
+    if rtype == TYPE_CREATE_TABLE:
+        table_id, name_len = struct.unpack_from("<QH", payload, 1)
+        pos = 11
+        name = payload[pos : pos + name_len].decode("utf-8")
+        pos += name_len
+        (blob_len,) = struct.unpack_from("<I", payload, pos)
+        pos += 4
+        return CreateTableRecord(table_id, name, payload[pos : pos + blob_len])
+    if rtype == TYPE_DROP_TABLE:
+        (table_id,) = struct.unpack_from("<Q", payload, 1)
+        return DropTableRecord(table_id)
+    raise ValueError(f"bad record type {rtype}")
+
+
+def decode_record(buffer: bytes, pos: int) -> tuple[LogRecord, int] | None:
+    """Decode the frame at ``pos``.
+
+    Returns (record, next_pos), or None when the frame is truncated or
+    fails its CRC — the torn tail of a crashed log.
+    """
+    if pos + 8 > len(buffer):
+        return None
+    length, crc = struct.unpack_from("<II", buffer, pos)
+    start = pos + 8
+    end = start + length
+    if end > len(buffer):
+        return None
+    payload = buffer[start:end]
+    if zlib.crc32(payload) != crc:
+        return None
+    return decode_payload(payload), end

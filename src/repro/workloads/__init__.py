@@ -1,0 +1,15 @@
+"""Workload generators and drivers for the evaluation."""
+
+from repro.workloads.generator import RowGenerator, WideRowGenerator, zipf_int
+from repro.workloads.ycsb import YcsbConfig, YcsbDriver, YcsbResult
+from repro.workloads.orders import OrderEntryWorkload
+
+__all__ = [
+    "OrderEntryWorkload",
+    "RowGenerator",
+    "WideRowGenerator",
+    "YcsbConfig",
+    "YcsbDriver",
+    "YcsbResult",
+    "zipf_int",
+]

@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.nvm.pool import PMemMode, PMemPool
+
+SMALL_EXTENT = 2 * 1024 * 1024
+
+
+@pytest.fixture
+def pool_dir(tmp_path):
+    return str(tmp_path / "pool")
+
+
+@pytest.fixture
+def pool(pool_dir):
+    p = PMemPool.create(pool_dir, extent_size=SMALL_EXTENT, mode=PMemMode.FAST)
+    yield p
+    if not p._closed:
+        p.close()
+
+
+@pytest.fixture
+def strict_pool(pool_dir):
+    p = PMemPool.create(pool_dir, extent_size=SMALL_EXTENT, mode=PMemMode.STRICT)
+    yield p
+    if not p._closed:
+        p.close()
+
+
+def make_config(mode: DurabilityMode, **overrides) -> EngineConfig:
+    defaults = dict(mode=mode, extent_size=SMALL_EXTENT)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+@pytest.fixture
+def nvm_db(tmp_path):
+    db = Database(str(tmp_path / "db"), make_config(DurabilityMode.NVM))
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def log_db(tmp_path):
+    db = Database(str(tmp_path / "db"), make_config(DurabilityMode.LOG))
+    yield db
+    db.close()
+
+
+@pytest.fixture
+def none_db(tmp_path):
+    db = Database(str(tmp_path / "db"), make_config(DurabilityMode.NONE))
+    yield db
+    db.close()
+
+
+@pytest.fixture(params=[DurabilityMode.NVM, DurabilityMode.LOG, DurabilityMode.NONE])
+def any_db(request, tmp_path):
+    """The same behavioural tests run against every engine mode."""
+    db = Database(str(tmp_path / "db"), make_config(request.param))
+    yield db
+    db.close()

@@ -1,0 +1,189 @@
+"""Engine-level behaviour tests, run against every durability mode."""
+
+import pytest
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.query.predicate import Between, Eq, IsNull
+from repro.storage.types import DataType
+from repro.txn.errors import TransactionConflict
+
+ITEMS = {"id": DataType.INT64, "name": DataType.STRING, "price": DataType.FLOAT64}
+
+
+class TestDdl:
+    def test_create_and_lookup(self, any_db):
+        any_db.create_table("items", ITEMS)
+        assert "items" in any_db.table_names
+        assert any_db.table("items").schema.names == ["id", "name", "price"]
+
+    def test_duplicate_table_rejected(self, any_db):
+        any_db.create_table("items", ITEMS)
+        with pytest.raises(ValueError):
+            any_db.create_table("items", ITEMS)
+
+    def test_missing_table_helpful_error(self, any_db):
+        with pytest.raises(KeyError, match="no table"):
+            any_db.table("ghost")
+
+    def test_duplicate_index_rejected(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.create_index("items", "id")
+        with pytest.raises(ValueError):
+            any_db.create_index("items", "id")
+
+
+class TestCrud:
+    def test_insert_query(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.insert("items", {"id": 1, "name": "anvil", "price": 9.5})
+        rows = any_db.query("items").rows()
+        assert rows == [{"id": 1, "name": "anvil", "price": 9.5}]
+
+    def test_transactional_visibility(self, any_db):
+        any_db.create_table("items", ITEMS)
+        txn = any_db.begin()
+        txn.insert("items", {"id": 1, "name": "x", "price": 0.0})
+        assert any_db.query("items").count == 0  # not yet committed
+        assert txn.query("items").count == 1  # own write visible
+        txn.commit()
+        assert any_db.query("items").count == 1
+
+    def test_context_manager_commits(self, any_db):
+        any_db.create_table("items", ITEMS)
+        with any_db.begin() as txn:
+            txn.insert("items", {"id": 1, "name": "x", "price": 0.0})
+        assert any_db.query("items").count == 1
+
+    def test_context_manager_aborts_on_error(self, any_db):
+        any_db.create_table("items", ITEMS)
+        with pytest.raises(RuntimeError):
+            with any_db.begin() as txn:
+                txn.insert("items", {"id": 1, "name": "x", "price": 0.0})
+                raise RuntimeError("boom")
+        assert any_db.query("items").count == 0
+
+    def test_update_and_delete(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.insert("items", {"id": 1, "name": "old", "price": 1.0})
+        any_db.insert("items", {"id": 2, "name": "gone", "price": 2.0})
+        with any_db.begin() as txn:
+            ref = txn.query("items", Eq("id", 1)).refs()[0]
+            txn.update("items", ref, {"name": "new"})
+            ref2 = txn.query("items", Eq("id", 2)).refs()[0]
+            txn.delete("items", ref2)
+        assert any_db.query("items").rows() == [
+            {"id": 1, "name": "new", "price": 1.0}
+        ]
+
+    def test_null_roundtrip(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.insert("items", {"id": 1})
+        rows = any_db.query("items", IsNull("price")).rows()
+        assert rows == [{"id": 1, "name": None, "price": None}]
+
+    def test_bulk_insert(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.bulk_insert(
+            "items",
+            [{"id": i, "name": f"n{i}", "price": float(i)} for i in range(100)],
+        )
+        assert any_db.query("items").count == 100
+        assert any_db.query("items", Between("id", 10, 19)).count == 10
+
+    def test_bulk_insert_empty(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.bulk_insert("items", [])
+        assert any_db.query("items").count == 0
+
+    def test_conflict_surfaces(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.insert("items", {"id": 1, "name": "x", "price": 0.0})
+        ref = any_db.query("items").refs()[0]
+        t1 = any_db.begin()
+        t2 = any_db.begin()
+        t1.delete("items", ref)
+        with pytest.raises(TransactionConflict):
+            t2.delete("items", ref)
+        t1.commit()
+        t2.abort()
+
+
+class TestIndexedQueries:
+    def test_index_scan_matches_full_scan(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.bulk_insert(
+            "items",
+            [{"id": i % 10, "name": f"n{i}", "price": float(i)} for i in range(200)],
+        )
+        unindexed = sorted(any_db.query("items", Eq("id", 3)).column("price"))
+        any_db.create_index("items", "id")
+        indexed = sorted(any_db.query("items", Eq("id", 3)).column("price"))
+        assert indexed == unindexed
+        assert len(indexed) == 20
+
+    def test_index_sees_fresh_inserts(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.create_index("items", "id")
+        any_db.insert("items", {"id": 7, "name": "x", "price": 0.0})
+        assert any_db.query("items", Eq("id", 7)).count == 1
+
+    def test_index_after_merge(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.create_index("items", "id")
+        any_db.bulk_insert(
+            "items", [{"id": i, "name": "x", "price": 0.0} for i in range(50)]
+        )
+        any_db.merge("items")
+        assert any_db.query("items", Eq("id", 25)).count == 1
+        any_db.insert("items", {"id": 25, "name": "dup", "price": 1.0})
+        assert any_db.query("items", Eq("id", 25)).count == 2
+
+
+class TestMerge:
+    def test_merge_moves_rows(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.bulk_insert(
+            "items", [{"id": i, "name": "x", "price": 0.0} for i in range(30)]
+        )
+        any_db.merge("items")
+        table = any_db.table("items")
+        assert table.main_row_count == 30
+        assert table.delta_row_count == 0
+        assert any_db.query("items").count == 30
+
+    def test_merge_with_active_txn_rejected(self, any_db):
+        any_db.create_table("items", ITEMS)
+        txn = any_db.begin()
+        txn.insert("items", {"id": 1, "name": "x", "price": 0.0})
+        with pytest.raises(RuntimeError):
+            any_db.merge("items")
+        txn.abort()
+
+    def test_merge_compacts_deleted(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.bulk_insert(
+            "items", [{"id": i, "name": "x", "price": 0.0} for i in range(10)]
+        )
+        with any_db.begin() as txn:
+            for ref in txn.query("items", Between("id", 0, 4)).refs():
+                txn.delete("items", ref)
+        any_db.merge("items")
+        assert any_db.table("items").main_row_count == 5
+
+
+class TestStats:
+    def test_stats_shape(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.insert("items", {"id": 1, "name": "x", "price": 0.0})
+        stats = any_db.stats()
+        assert stats["commits"] >= 1
+        assert stats["tables"]["items"]["delta_rows"] == 1
+        assert stats["mode"] in ("nvm", "log", "none")
+
+    def test_logical_bytes_positive(self, any_db):
+        any_db.create_table("items", ITEMS)
+        any_db.bulk_insert(
+            "items", [{"id": i, "name": "x", "price": 0.0} for i in range(10)]
+        )
+        assert any_db.logical_bytes() > 0

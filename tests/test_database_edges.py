@@ -1,0 +1,150 @@
+"""Edge cases of the engine facade that the main suites don't touch."""
+
+import pytest
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database, Transaction, _coerce_schema
+from repro.storage.schema import ColumnDef, Schema
+from repro.storage.types import DataType
+from repro.txn.errors import TooManyActiveTransactions
+
+from tests.conftest import make_config
+
+
+class TestSchemaCoercion:
+    def test_dict_schema(self):
+        schema = _coerce_schema({"a": DataType.INT64})
+        assert isinstance(schema, Schema)
+        assert schema.names == ["a"]
+
+    def test_schema_passthrough(self):
+        schema = Schema([ColumnDef("a", DataType.INT64)])
+        assert _coerce_schema(schema) is schema
+
+
+class TestCheckpointRules:
+    def test_checkpoint_rejected_in_nvm_mode(self, nvm_db):
+        with pytest.raises(RuntimeError, match="LOG mode"):
+            nvm_db.checkpoint()
+
+    def test_checkpoint_rejected_with_active_txn(self, log_db):
+        log_db.create_table("t", {"a": DataType.INT64})
+        txn = log_db.begin()
+        txn.insert("t", {"a": 1})
+        with pytest.raises(RuntimeError, match="active"):
+            log_db.checkpoint()
+        txn.abort()
+
+    def test_empty_database_checkpoint(self, log_db):
+        assert log_db.checkpoint() > 0
+        db2 = log_db.restart()
+        assert db2.table_names == []
+        db2.close()
+        log_db._closed = True
+
+
+class TestTransactionHandle:
+    def test_tid_exposed(self, none_db):
+        txn = none_db.begin()
+        assert txn.tid > 0
+        txn.abort()
+
+    def test_double_commit_via_context_manager_safe(self, none_db):
+        none_db.create_table("t", {"a": DataType.INT64})
+        with none_db.begin() as txn:
+            txn.insert("t", {"a": 1})
+            txn.commit()  # explicit commit inside the with block
+        assert none_db.query("t").count == 1
+
+    def test_abort_inside_context_manager(self, none_db):
+        none_db.create_table("t", {"a": DataType.INT64})
+        with none_db.begin() as txn:
+            txn.insert("t", {"a": 1})
+            txn.abort()
+        assert none_db.query("t").count == 0
+
+    def test_slot_exhaustion_at_engine_level(self, tmp_path):
+        db = Database(
+            str(tmp_path / "db"), make_config(DurabilityMode.NONE, txn_slots=3)
+        )
+        handles = [db.begin() for _ in range(3)]
+        with pytest.raises(TooManyActiveTransactions):
+            db.begin()
+        for handle in handles:
+            handle.abort()
+        db.begin().abort()  # slots recycled
+        db.close()
+
+
+class TestRowValidation:
+    def test_insert_type_error_does_not_leak_state(self, none_db):
+        none_db.create_table("t", {"a": DataType.INT64})
+        txn = none_db.begin()
+        with pytest.raises(TypeError):
+            txn.insert("t", {"a": "string"})
+        txn.insert("t", {"a": 1})  # txn still usable
+        txn.commit()
+        assert none_db.query("t").count == 1
+
+    def test_bulk_insert_validates_all_rows_first(self, none_db):
+        none_db.create_table("t", {"a": DataType.INT64})
+        with pytest.raises(TypeError):
+            none_db.bulk_insert("t", [{"a": 1}, {"a": "bad"}])
+        # Validation failed before anything was loaded.
+        assert none_db.query("t").count == 0
+
+    def test_unknown_column_in_insert(self, none_db):
+        none_db.create_table("t", {"a": DataType.INT64})
+        txn = none_db.begin()
+        with pytest.raises(KeyError):
+            txn.insert("t", {"ghost": 1})
+        txn.abort()
+
+
+class TestReopenSafety:
+    def test_close_is_idempotent(self, tmp_path):
+        db = Database(str(tmp_path / "db"), make_config(DurabilityMode.NVM))
+        db.close()
+        db.close()
+
+    def test_crash_after_close_is_noop(self, tmp_path):
+        db = Database(str(tmp_path / "db"), make_config(DurabilityMode.NVM))
+        db.close()
+        db.crash()
+
+    def test_reopen_same_directory_twice(self, tmp_path):
+        path = str(tmp_path / "db")
+        cfg = make_config(DurabilityMode.NVM)
+        db = Database(path, cfg)
+        db.create_table("t", {"a": DataType.INT64})
+        db.close()
+        for _ in range(3):
+            db = Database(path, cfg)
+            assert db.table_names == ["t"]
+            db.close()
+
+    def test_log_mode_empty_directory(self, tmp_path):
+        db = Database(str(tmp_path / "db"), make_config(DurabilityMode.LOG))
+        assert db.last_recovery.log_records_replayed == 0
+        assert db.table_names == []
+        db.close()
+
+
+class TestMergeEdges:
+    def test_merge_unknown_table(self, none_db):
+        with pytest.raises(KeyError):
+            none_db.merge("ghost")
+
+    def test_merge_empty_table(self, any_db):
+        any_db.create_table("t", {"a": DataType.INT64})
+        any_db.merge("t")
+        assert any_db.table("t").generation == 1
+        assert any_db.query("t").count == 0
+
+    def test_repeated_merges(self, any_db):
+        any_db.create_table("t", {"a": DataType.INT64})
+        for generation in range(1, 4):
+            any_db.bulk_insert("t", [{"a": generation}])
+            any_db.merge("t")
+            assert any_db.table("t").generation == generation
+        assert sorted(any_db.query("t").column("a")) == [1, 2, 3]

@@ -1,0 +1,146 @@
+"""Unit tests for sorted and unsorted dictionaries."""
+
+import pytest
+
+from repro.storage.backend import NvmBackend, VolatileBackend
+from repro.storage.dictionary import SortedDictionary, UnsortedDictionary, hash_key
+from repro.storage.types import DataType
+
+
+@pytest.fixture(params=["volatile", "nvm"])
+def backend(request, pool):
+    if request.param == "volatile":
+        return VolatileBackend()
+    return NvmBackend(pool)
+
+
+class TestUnsortedDictionary:
+    def test_first_seen_order(self, backend):
+        d = UnsortedDictionary.create(DataType.INT64, backend)
+        assert d.code_for_insert(50) == 0
+        assert d.code_for_insert(10) == 1
+        assert d.code_for_insert(50) == 0
+        assert len(d) == 2
+
+    def test_value_roundtrip_types(self, backend):
+        for dtype, values in [
+            (DataType.INT64, [3, -9, 0]),
+            (DataType.FLOAT64, [1.5, -2.25]),
+            (DataType.STRING, ["b", "a", "ü"]),
+        ]:
+            d = UnsortedDictionary.create(dtype, backend)
+            codes = [d.code_for_insert(v) for v in values]
+            assert [d.value_of(c) for c in codes] == values
+            assert d.values_list() == values
+
+    def test_code_of_missing(self, backend):
+        d = UnsortedDictionary.create(DataType.STRING, backend)
+        d.code_for_insert("present")
+        assert d.code_of("absent") is None
+        assert d.code_of("present") == 0
+
+    def test_lazy_lookup_rebuild(self, backend):
+        d = UnsortedDictionary.create(DataType.INT64, backend)
+        d.code_for_insert(5)
+        d.code_for_insert(7)
+        d._lookup = None  # simulate a restart losing the volatile map
+        assert d.code_of(7) == 1
+        assert d.code_for_insert(5) == 0  # no duplicate appended
+        assert len(d) == 2
+
+    def test_persistent_lookup_requires_nvm(self):
+        with pytest.raises(ValueError):
+            UnsortedDictionary.create(
+                DataType.INT64, VolatileBackend(), persistent_lookup=True
+            )
+
+
+class TestPersistentLookup:
+    def test_lookup_without_rebuild(self, pool):
+        backend = NvmBackend(pool)
+        d = UnsortedDictionary.create(DataType.STRING, backend, persistent_lookup=True)
+        code = d.code_for_insert("hello")
+        attached = UnsortedDictionary.attach(
+            DataType.STRING, backend, d.values.offset, d.persistent_lookup.offset
+        )
+        # code_of answers straight from NVM (no volatile lookup built).
+        assert attached._lookup is None
+        assert attached.code_of("hello") == code
+        assert attached._lookup is None
+
+    def test_repair_after_lagging_lookup(self, pool):
+        backend = NvmBackend(pool)
+        d = UnsortedDictionary.create(DataType.INT64, backend, persistent_lookup=True)
+        d.code_for_insert(1)
+        d.code_for_insert(2)
+        # Simulate a crash between value publish and lookup insert.
+        d.values.append(3)
+        attached = UnsortedDictionary.attach(
+            DataType.INT64, backend, d.values.offset, d.persistent_lookup.offset
+        )
+        assert attached.code_of(3) == 2
+        assert attached.code_for_insert(3) == 2  # repaired, not duplicated
+
+    def test_hash_key_stability(self):
+        assert hash_key(DataType.INT64, -1) == 2**64 - 1
+        assert hash_key(DataType.STRING, "abc") == hash_key(DataType.STRING, "abc")
+        assert hash_key(DataType.FLOAT64, 1.5) == hash_key(DataType.FLOAT64, 1.5)
+
+
+class TestSortedDictionary:
+    def _build(self, backend, values, dtype=DataType.INT64):
+        return SortedDictionary.build(dtype, backend, values)
+
+    def test_codes_are_sorted_positions(self, backend):
+        d = self._build(backend, [10, 20, 30])
+        assert d.code_of(10) == 0
+        assert d.code_of(30) == 2
+        assert d.code_of(15) is None
+
+    def test_bounds_numeric(self, backend):
+        d = self._build(backend, [10, 20, 30])
+        assert d.lower_bound(15) == 1
+        assert d.lower_bound(20) == 1
+        assert d.upper_bound(20) == 2
+        assert d.lower_bound(5) == 0
+        assert d.lower_bound(99) == 3
+        assert d.upper_bound(99) == 3
+
+    def test_bounds_strings(self, backend):
+        d = self._build(backend, ["apple", "mango", "pear"], DataType.STRING)
+        assert d.code_of("mango") == 1
+        assert d.lower_bound("banana") == 1
+        assert d.upper_bound("mango") == 2
+
+    def test_decode(self, backend):
+        import numpy as np
+
+        d = self._build(backend, [5, 6, 7])
+        assert d.decode(np.array([2, 0, 1])) == [7, 5, 6]
+
+    def test_empty_dictionary(self, backend):
+        d = self._build(backend, [])
+        assert len(d) == 0
+        assert d.code_of(1) is None
+        assert d.lower_bound(1) == 0
+
+    def test_values_list_types(self, backend):
+        d = self._build(backend, [1.5, 2.5], DataType.FLOAT64)
+        values = d.values_list()
+        assert values == [1.5, 2.5]
+        assert all(isinstance(v, float) for v in values)
+
+    def test_attach_after_restart(self, pool_dir):
+        from repro.nvm.pool import PMemPool
+
+        pool = PMemPool.create(pool_dir, extent_size=2 * 1024 * 1024)
+        backend = NvmBackend(pool)
+        d = SortedDictionary.build(DataType.STRING, backend, ["a", "b", "c"])
+        off = d.values.offset
+        pool.close()
+        pool = PMemPool.open(pool_dir)
+        backend = NvmBackend(pool)
+        d2 = SortedDictionary.attach(DataType.STRING, backend, off)
+        assert d2.code_of("b") == 1
+        assert d2.values_list() == ["a", "b", "c"]
+        pool.close()

@@ -1,0 +1,190 @@
+"""Unit tests for group-key and delta indexes."""
+
+import numpy as np
+import pytest
+
+from repro.index.delta_index import PersistentDeltaIndex, VolatileDeltaIndex
+from repro.index.groupkey import GroupKeyIndex
+from repro.index.table_index import TableIndex
+from repro.storage.backend import NvmBackend, VolatileBackend
+from repro.storage.merge import merge_table
+from repro.storage.mvcc import NO_TID
+from repro.storage.schema import Schema
+from repro.storage.table import Table, unpack_rowref
+from repro.storage.types import DataType
+
+SCHEMA = Schema.of(k=DataType.INT64, v=DataType.STRING)
+
+
+def _commit(table, values, cid=1):
+    ref = table.insert_uncommitted(values, tid=1)
+    mvcc, idx = table.mvcc_for(ref)
+    mvcc.set_begin(idx, cid)
+    mvcc.set_tid(idx, NO_TID)
+    return ref
+
+
+def _merged_table(backend, keys):
+    table = Table.create(1, "t", SCHEMA, backend)
+    for k in keys:
+        _commit(table, [k, f"s{k}"])
+    table.main, table.delta = merge_table(table, backend)
+    return table
+
+
+class TestGroupKeyIndex:
+    def test_lookup_positions(self):
+        backend = VolatileBackend()
+        table = _merged_table(backend, [5, 3, 5, 9, 3, 5])
+        index = GroupKeyIndex.build(backend, table.main.columns[0])
+        dict0 = table.main.columns[0].dictionary
+        codes = table.main.column_codes(0)
+        for value in (3, 5, 9):
+            code = dict0.code_of(value)
+            expected = sorted(np.nonzero(codes == code)[0])
+            assert sorted(index.lookup(code)) == expected
+
+    def test_lookup_range(self):
+        backend = VolatileBackend()
+        table = _merged_table(backend, [1, 2, 3, 4, 5])
+        index = GroupKeyIndex.build(backend, table.main.columns[0])
+        dict0 = table.main.columns[0].dictionary
+        lo = dict0.lower_bound(2)
+        hi = dict0.upper_bound(4)
+        positions = index.lookup_range(lo, hi)
+        values = sorted(table.main.get_value(0, int(p)) for p in positions)
+        assert values == [2, 3, 4]
+
+    def test_empty_range(self):
+        backend = VolatileBackend()
+        table = _merged_table(backend, [1, 2])
+        index = GroupKeyIndex.build(backend, table.main.columns[0])
+        assert index.lookup_range(1, 1).size == 0
+
+    def test_null_bucket(self):
+        backend = VolatileBackend()
+        table = Table.create(1, "t", SCHEMA, backend)
+        _commit(table, [None, "a"])
+        _commit(table, [1, "b"])
+        table.main, table.delta = merge_table(table, backend)
+        col = table.main.columns[0]
+        index = GroupKeyIndex.build(backend, col)
+        assert len(index.lookup(col.null_code)) == 1
+
+    def test_attach_after_restart(self, pool_dir):
+        from repro.nvm.pool import PMemPool
+
+        pool = PMemPool.create(pool_dir, extent_size=2 * 1024 * 1024)
+        backend = NvmBackend(pool)
+        table = _merged_table(backend, [4, 4, 2])
+        index = GroupKeyIndex.build(backend, table.main.columns[0])
+        offs = index.offsets_vector.offset
+        poss = index.positions_vector.offset
+        code = table.main.columns[0].dictionary.code_of(4)
+        expected = sorted(index.lookup(code))
+        pool.close()
+        pool = PMemPool.open(pool_dir)
+        backend = NvmBackend(pool)
+        again = GroupKeyIndex.attach(backend, offs, poss)
+        assert sorted(again.lookup(code)) == expected
+        pool.close()
+
+
+class TestDeltaIndexes:
+    @pytest.fixture(params=["volatile", "persistent"])
+    def delta_index(self, request, pool):
+        if request.param == "volatile":
+            return VolatileDeltaIndex()
+        return PersistentDeltaIndex.create(NvmBackend(pool))
+
+    def test_add_and_lookup(self, delta_index):
+        delta_index.add(7, 0)
+        delta_index.add(7, 3)
+        delta_index.add(2, 1)
+        assert sorted(delta_index.lookup(7)) == [0, 3]
+        assert list(delta_index.lookup(2)) == [1]
+        assert delta_index.lookup(99).size == 0
+
+    def test_entry_count(self, delta_index):
+        for i in range(5):
+            delta_index.add(i % 2, i)
+        assert delta_index.entry_count() == 5
+
+    def test_volatile_rebuild(self):
+        backend = VolatileBackend()
+        table = Table.create(1, "t", SCHEMA, backend)
+        for k in [5, 6, 5]:
+            _commit(table, [k, "x"])
+        index = VolatileDeltaIndex()
+        index.rebuild(table.delta, 0)
+        code = table.delta.dictionaries[0].code_of(5)
+        assert sorted(index.lookup(code)) == [0, 2]
+
+    def test_persistent_attach_no_rebuild(self, pool_dir):
+        from repro.nvm.pool import PMemPool
+
+        pool = PMemPool.create(pool_dir, extent_size=2 * 1024 * 1024)
+        backend = NvmBackend(pool)
+        index = PersistentDeltaIndex.create(backend)
+        index.add(3, 11)
+        off = index.offset
+        pool.close()
+        pool = PMemPool.open(pool_dir)
+        again = PersistentDeltaIndex.attach(NvmBackend(pool), off)
+        assert list(again.lookup(3)) == [11]
+        assert not again.needs_rebuild_after_restart
+        pool.close()
+
+
+class TestTableIndex:
+    def _table_with_index(self, backend, persistent=False):
+        table = Table.create(1, "t", SCHEMA, backend)
+        for k in [1, 2, 1, None]:
+            _commit(table, [k, "x"])
+        table.main, table.delta = merge_table(table, backend)
+        for k in [2, 1]:
+            _commit(table, [k, "y"], cid=2)
+        index = TableIndex.build(backend, table, "k", persistent_delta=persistent)
+        return table, index
+
+    def test_probe_spans_partitions(self):
+        backend = VolatileBackend()
+        table, index = self._table_with_index(backend)
+        refs = index.probe_equal(table, 1)
+        partitions = sorted(unpack_rowref(r)[0] for r in refs)
+        assert len(refs) == 3
+        assert partitions == [False, False, True]
+
+    def test_probe_missing_value(self):
+        backend = VolatileBackend()
+        table, index = self._table_with_index(backend)
+        assert index.probe_equal(table, 42) == []
+
+    def test_probe_null(self):
+        backend = VolatileBackend()
+        table, index = self._table_with_index(backend)
+        refs = index.probe_null(table)
+        assert len(refs) == 1
+        assert table.get_row(refs[0])[0] is None
+
+    def test_on_insert_maintains(self):
+        backend = VolatileBackend()
+        table, index = self._table_with_index(backend)
+        ref = _commit(table, [77, "fresh"], cid=3)
+        __, row = unpack_rowref(ref)
+        index.on_insert(table.delta.get_code(0, row), row)
+        assert len(index.probe_equal(table, 77)) == 1
+
+    def test_stale_delta_detected_and_rebuilt(self):
+        backend = VolatileBackend()
+        table, index = self._table_with_index(backend)
+        # Simulate a restart: rows exist but the volatile index forgot them.
+        index.delta_index = VolatileDeltaIndex()
+        index._delta_synced_rows = 0
+        assert len(index.probe_equal(table, 1)) == 3
+
+    def test_persistent_variant_on_nvm(self, pool):
+        backend = NvmBackend(pool)
+        table, index = self._table_with_index(backend, persistent=True)
+        assert isinstance(index.delta_index, PersistentDeltaIndex)
+        assert len(index.probe_equal(table, 1)) == 3

@@ -1,0 +1,184 @@
+"""Cross-module integration scenarios."""
+
+import pytest
+
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.nvm.pool import PMemMode
+from repro.query.predicate import And, Between, Eq, Gt, Not, Or
+from repro.storage.types import DataType
+
+from tests.conftest import make_config
+
+
+class TestStringIndexes:
+    @pytest.fixture
+    def db(self, nvm_db):
+        nvm_db.create_table(
+            "users", {"uid": DataType.INT64, "email": DataType.STRING}
+        )
+        nvm_db.create_index("users", "email")
+        nvm_db.bulk_insert(
+            "users",
+            [{"uid": i, "email": f"user{i}@example.com"} for i in range(200)],
+        )
+        return nvm_db
+
+    def test_point_lookup(self, db):
+        rows = db.query("users", Eq("email", "user42@example.com")).rows()
+        assert rows == [{"uid": 42, "email": "user42@example.com"}]
+
+    def test_string_range_via_index(self, db):
+        db.merge("users")
+        low, high = "user10@example.com", "user11@example.com"
+        rows = db.query("users", Between("email", low, high))
+        expected = sorted(
+            i for i in range(200) if low <= f"user{i}@example.com" <= high
+        )
+        assert sorted(rows.column("uid")) == expected
+        assert expected  # the range is non-trivial
+
+    def test_index_survives_restart_and_update(self, db):
+        with db.begin() as txn:
+            ref = txn.query("users", Eq("email", "user5@example.com")).refs()[0]
+            txn.update("users", ref, {"email": "renamed@example.com"})
+        db2 = db.restart()
+        try:
+            assert db2.query("users", Eq("email", "user5@example.com")).count == 0
+            assert db2.query("users", Eq("email", "renamed@example.com")).count == 1
+        finally:
+            db2.close()
+            db._closed = True  # the fixture's close becomes a no-op
+
+
+class TestMultiTableTransactions:
+    def test_cross_table_atomicity(self, any_db):
+        any_db.create_table("a", {"x": DataType.INT64})
+        any_db.create_table("b", {"y": DataType.INT64})
+        txn = any_db.begin()
+        txn.insert("a", {"x": 1})
+        txn.insert("b", {"y": 2})
+        txn.abort()
+        assert any_db.query("a").count == 0
+        assert any_db.query("b").count == 0
+        with any_db.begin() as txn:
+            txn.insert("a", {"x": 1})
+            txn.insert("b", {"y": 2})
+        assert any_db.query("a").count == 1
+        assert any_db.query("b").count == 1
+
+    def test_cross_table_crash_atomicity(self, tmp_path):
+        cfg = make_config(DurabilityMode.NVM, pmem_mode=PMemMode.STRICT)
+        db = Database(str(tmp_path / "db"), cfg)
+        db.create_table("a", {"x": DataType.INT64})
+        db.create_table("b", {"y": DataType.INT64})
+        txn = db.begin()
+        txn.insert("a", {"x": 1})
+        txn.insert("b", {"y": 2})
+        db.crash()
+        db = Database(str(tmp_path / "db"), cfg)
+        assert db.query("a").count == 0
+        assert db.query("b").count == 0
+        assert db.verify() == []
+        db.close()
+
+
+class TestComplexPredicates:
+    @pytest.fixture
+    def db(self, none_db):
+        none_db.create_table(
+            "t", {"n": DataType.INT64, "s": DataType.STRING}
+        )
+        none_db.bulk_insert(
+            "t", [{"n": i, "s": f"g{i % 3}"} for i in range(30)]
+        )
+        return none_db
+
+    def test_nested_boolean_tree(self, db):
+        pred = And(
+            Or(Eq("s", "g0"), Eq("s", "g1")),
+            Not(Between("n", 10, 19)),
+            Gt("n", 3),
+        )
+        got = sorted(db.query("t", pred).column("n"))
+        expected = sorted(
+            i
+            for i in range(30)
+            if (i % 3 in (0, 1)) and not (10 <= i <= 19) and i > 3
+        )
+        assert got == expected
+
+    def test_predicate_spans_merge_boundary(self, db):
+        pred = And(Eq("s", "g1"), Between("n", 5, 25))
+        before = sorted(db.query("t", pred).column("n"))
+        db.merge("t")
+        db.bulk_insert("t", [{"n": 100, "s": "g1"}])
+        after = sorted(db.query("t", pred).column("n"))
+        assert after == before  # 100 is outside the range
+
+
+class TestAutoMergeUnderCrash:
+    def test_crash_right_after_auto_merge(self, tmp_path):
+        cfg = make_config(
+            DurabilityMode.NVM, pmem_mode=PMemMode.STRICT, auto_merge_rows=10
+        )
+        db = Database(str(tmp_path / "db"), cfg)
+        db.create_table("t", {"a": DataType.INT64})
+        db.bulk_insert("t", [{"a": i} for i in range(15)])  # triggers merge
+        assert db.table("t").generation == 1
+        db.crash()
+        db = Database(str(tmp_path / "db"), cfg)
+        assert db.query("t").count == 15
+        assert db.table("t").generation == 1
+        assert db.verify() == []
+        db.close()
+
+
+class TestOwnWritesWithPredicates:
+    def test_scan_sees_own_matching_update(self, any_db):
+        any_db.create_table("t", {"a": DataType.INT64})
+        any_db.bulk_insert("t", [{"a": 1}, {"a": 2}])
+        txn = any_db.begin()
+        ref = txn.query("t", Eq("a", 1)).refs()[0]
+        txn.update("t", ref, {"a": 99})
+        assert txn.query("t", Eq("a", 99)).count == 1
+        assert txn.query("t", Eq("a", 1)).count == 0
+        # Other observers see the old state until commit.
+        assert any_db.query("t", Eq("a", 99)).count == 0
+        txn.commit()
+        assert any_db.query("t", Eq("a", 99)).count == 1
+
+    def test_aggregate_within_txn(self, any_db):
+        from repro.query.aggregate import aggregate
+
+        any_db.create_table("t", {"a": DataType.INT64})
+        any_db.bulk_insert("t", [{"a": 10}, {"a": 20}])
+        txn = any_db.begin()
+        txn.insert("t", {"a": 30})
+        assert aggregate(txn.query("t"), "sum", "a") == 60
+        txn.abort()
+        assert aggregate(any_db.query("t"), "sum", "a") == 30
+
+
+class TestLargeTransaction:
+    def test_many_ops_single_txn(self, nvm_db):
+        """Spans many undo chunks in the persistent txn table."""
+        nvm_db.create_table("t", {"a": DataType.INT64})
+        txn = nvm_db.begin()
+        for i in range(150):
+            txn.insert("t", {"a": i})
+        txn.commit()
+        assert nvm_db.query("t").count == 150
+
+    def test_many_ops_rolled_back_on_crash(self, tmp_path):
+        cfg = make_config(DurabilityMode.NVM, pmem_mode=PMemMode.STRICT)
+        db = Database(str(tmp_path / "db"), cfg)
+        db.create_table("t", {"a": DataType.INT64})
+        txn = db.begin()
+        for i in range(150):
+            txn.insert("t", {"a": i})
+        db.crash()
+        db = Database(str(tmp_path / "db"), cfg)
+        assert db.query("t").count == 0
+        assert db.last_recovery.txns_rolled_back == 1
+        db.close()

@@ -1,0 +1,75 @@
+"""Tests for space accounting (nbytes and the engine memory report)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.nvm.phash import PHashMap
+from repro.nvm.pvector import PVector
+from repro.storage.types import DataType
+from repro.storage.vector import VolatileVector
+
+from tests.conftest import make_config
+
+
+class TestNbytes:
+    def test_pvector_grows_with_chunks(self, pool):
+        v = PVector.create(pool, np.uint64, chunk_capacity=8)
+        empty = v.nbytes
+        v.extend(np.arange(40, dtype=np.uint64))
+        assert v.nbytes == empty + 5 * 8 * 8  # five chunks of 8 u64
+
+    def test_volatile_vector_nbytes(self):
+        v = VolatileVector(np.uint32)
+        v.extend(np.arange(100, dtype=np.uint32))
+        assert v.nbytes >= 400
+
+    def test_phash_nbytes_grows_on_resize(self, pool):
+        m = PHashMap.create(pool, capacity=8)
+        before = m.nbytes
+        for i in range(100):
+            m.insert(i, i)
+        assert m.nbytes > before
+
+
+class TestMemoryReport:
+    @pytest.mark.parametrize("mode", [DurabilityMode.NVM, DurabilityMode.NONE])
+    def test_report_structure(self, tmp_path, mode):
+        db = Database(str(tmp_path / "db"), make_config(mode))
+        db.create_table("t", {"a": DataType.INT64, "s": DataType.STRING})
+        db.create_index("t", "a")
+        db.bulk_insert("t", [{"a": i, "s": f"x{i % 9}"} for i in range(500)])
+        db.merge("t")
+        report = db.memory_report()["t"]
+        for key in (
+            "main_packed",
+            "main_dictionaries",
+            "main_mvcc",
+            "delta_codes",
+            "delta_mvcc",
+            "indexes",
+            "total",
+        ):
+            assert key in report
+        assert report["total"] == sum(
+            v for k, v in report.items() if k != "total"
+        )
+        assert report["main_packed"] > 0
+        assert report["indexes"] > 0
+        db.close()
+
+    def test_packing_saves_space(self, tmp_path):
+        """Bit-packed main codes are smaller than 4-byte delta codes."""
+        db = Database(str(tmp_path / "db"), make_config(DurabilityMode.NONE))
+        db.create_table("t", {"a": DataType.INT64})
+        db.bulk_insert("t", [{"a": i % 4} for i in range(10_000)])
+        before = db.memory_report()["t"]["delta_codes"]
+        db.merge("t")
+        after = db.memory_report()["t"]["main_packed"]
+        assert after < before / 4  # 3 bits/code vs 32 bits/code
+
+    def test_report_empty_table(self, none_db):
+        none_db.create_table("t", {"a": DataType.INT64})
+        report = none_db.memory_report()["t"]
+        assert report["total"] >= 0

@@ -1,0 +1,260 @@
+"""Unit tests for the persistent memory pool."""
+
+import numpy as np
+import pytest
+
+from repro.nvm.errors import PoolCorruptError, PoolFullError, PoolModeError
+from repro.nvm.latency import LatencyModel
+from repro.nvm.pool import CACHE_LINE, HEADER_SIZE, PMemMode, PMemPool
+
+EXTENT = 2 * 1024 * 1024
+
+
+class TestLifecycle:
+    def test_create_and_reopen(self, pool_dir):
+        pool = PMemPool.create(pool_dir, extent_size=EXTENT)
+        off = pool.allocate(128)
+        pool.write(off, b"hello")
+        pool.persist(off, 5)
+        pool.set_root(off)
+        pool.close()
+        again = PMemPool.open(pool_dir)
+        assert again.read(again.root_offset, 5) == b"hello"
+        again.close()
+
+    def test_create_twice_fails(self, pool_dir):
+        PMemPool.create(pool_dir, extent_size=EXTENT).close()
+        with pytest.raises(PoolModeError):
+            PMemPool.create(pool_dir, extent_size=EXTENT)
+
+    def test_open_missing_fails(self, tmp_path):
+        with pytest.raises(PoolCorruptError):
+            PMemPool.open(str(tmp_path / "nope"))
+
+    def test_exists(self, pool_dir):
+        assert not PMemPool.exists(pool_dir)
+        PMemPool.create(pool_dir, extent_size=EXTENT).close()
+        assert PMemPool.exists(pool_dir)
+
+    def test_clean_shutdown_flag(self, pool_dir):
+        pool = PMemPool.create(pool_dir, extent_size=EXTENT)
+        pool.close(clean=True)
+        pool = PMemPool.open(pool_dir)
+        assert pool.was_clean_shutdown
+        pool.mark_opened()
+        pool.close(clean=False)
+        pool = PMemPool.open(pool_dir)
+        assert not pool.was_clean_shutdown
+        pool.close()
+
+    def test_bad_extent_size_rejected(self, pool_dir):
+        with pytest.raises(ValueError):
+            PMemPool.create(pool_dir, extent_size=1000)
+
+    def test_corrupt_magic_detected(self, pool_dir):
+        pool = PMemPool.create(pool_dir, extent_size=EXTENT)
+        pool.close()
+        import os
+        path = os.path.join(pool_dir, "extent_0000.pm")
+        with open(path, "r+b") as f:
+            f.write(b"\xde\xad\xbe\xef")
+        with pytest.raises(PoolCorruptError):
+            PMemPool.open(pool_dir)
+
+
+class TestReadWrite:
+    def test_bytes_roundtrip(self, pool):
+        off = pool.allocate(64)
+        pool.write(off, b"abcdef")
+        assert pool.read(off, 6) == b"abcdef"
+
+    def test_u64_roundtrip(self, pool):
+        off = pool.allocate(64)
+        pool.write_u64(off, 2**63 + 17)
+        assert pool.read_u64(off) == 2**63 + 17
+
+    def test_u32_roundtrip(self, pool):
+        off = pool.allocate(64)
+        pool.write_u32(off, 2**31 + 3)
+        assert pool.read_u32(off) == 2**31 + 3
+
+    def test_i64_roundtrip(self, pool):
+        off = pool.allocate(64)
+        pool.write_i64(off, -12345)
+        assert pool.read_i64(off) == -12345
+
+    def test_unaligned_u64_rejected(self, pool):
+        off = pool.allocate(64)
+        with pytest.raises(PoolModeError):
+            pool.write_u64(off + 3, 1)
+
+    def test_array_roundtrip(self, pool):
+        arr = np.arange(100, dtype=np.uint64)
+        off = pool.allocate(arr.nbytes)
+        pool.write_array(off, arr)
+        assert (pool.read_array(off, np.uint64, 100) == arr).all()
+
+    def test_view_is_zero_copy_and_readonly(self, pool):
+        arr = np.arange(50, dtype=np.int64)
+        off = pool.allocate(arr.nbytes)
+        pool.write_array(off, arr)
+        view = pool.view(off, np.int64, 50)
+        assert (view == arr).all()
+        assert not view.flags.writeable
+        pool.write_array(off, arr * 2)
+        assert view[1] == 2  # zero copy: sees the new store
+
+    def test_view_survives_growth(self, pool):
+        off = pool.allocate(8)
+        pool.write_u64(off, 42)
+        view = pool.view(off, np.uint64, 1)
+        # Force extent growth, then check the old view still reads.
+        pool.allocate(EXTENT - 1024)
+        pool.allocate(EXTENT // 2)
+        assert pool.size >= 2 * EXTENT
+        assert view[0] == 42
+
+
+class TestAllocator:
+    def test_alignment(self, pool):
+        a = pool.allocate(10, align=64)
+        assert a % 64 == 0
+        b = pool.allocate(10, align=64)
+        assert b % 64 == 0 and b > a
+
+    def test_never_spans_extent(self, pool):
+        # Allocate nearly a full extent, then ask for a block that would
+        # straddle the boundary.
+        pool.allocate(EXTENT - HEADER_SIZE - 4096)
+        off = pool.allocate(64 * 1024)
+        assert off // EXTENT == (off + 64 * 1024 - 1) // EXTENT
+
+    def test_oversized_allocation_rejected(self, pool):
+        with pytest.raises(PoolFullError):
+            pool.allocate(EXTENT + 1)
+
+    def test_zero_allocation_rejected(self, pool):
+        with pytest.raises(ValueError):
+            pool.allocate(0)
+
+    def test_growth_persists_across_reopen(self, pool_dir):
+        pool = PMemPool.create(pool_dir, extent_size=EXTENT)
+        for _ in range(3):
+            pool.allocate(EXTENT - 4096)
+        size = pool.size
+        assert size >= 3 * EXTENT
+        pool.close()
+        again = PMemPool.open(pool_dir)
+        assert again.size == size
+        again.close()
+
+    def test_head_persisted_per_allocation(self, pool_dir):
+        pool = PMemPool.create(pool_dir, extent_size=EXTENT, mode=PMemMode.STRICT)
+        first = pool.allocate(256)
+        pool.crash()
+        again = PMemPool.open(pool_dir, mode=PMemMode.STRICT)
+        second = again.allocate(256)
+        assert second >= first + 256
+        again.close()
+
+
+class TestStrictCrashSemantics:
+    def test_unflushed_store_lost(self, strict_pool, pool_dir):
+        off = strict_pool.allocate(64)
+        strict_pool.write_u64(off, 1)
+        strict_pool.persist(off, 8)
+        strict_pool.write_u64(off, 2)  # no flush
+        strict_pool.crash()
+        pool = PMemPool.open(pool_dir)
+        assert pool.read_u64(off) == 1
+        pool.close()
+
+    def test_flushed_store_survives(self, strict_pool, pool_dir):
+        off = strict_pool.allocate(64)
+        strict_pool.write_u64(off, 7)
+        strict_pool.persist(off, 8)
+        strict_pool.crash()
+        pool = PMemPool.open(pool_dir)
+        assert pool.read_u64(off) == 7
+        pool.close()
+
+    def test_flush_without_write_is_noop(self, strict_pool):
+        off = strict_pool.allocate(64)
+        strict_pool.flush(off, 64)  # nothing dirty — fine
+        strict_pool.drain()
+
+    def test_partial_flush_line_granularity(self, strict_pool, pool_dir):
+        off = strict_pool.allocate(128)
+        strict_pool.write(off, b"A" * 128)
+        strict_pool.flush(off, 64)  # only the first line
+        strict_pool.drain()
+        strict_pool.crash()
+        pool = PMemPool.open(pool_dir)
+        assert pool.read(off, 64) == b"A" * 64
+        assert pool.read(off + 64, 64) == b"\x00" * 64
+        pool.close()
+
+    def test_survivor_fraction_one_keeps_everything(self, strict_pool, pool_dir):
+        off = strict_pool.allocate(64)
+        strict_pool.write_u64(off, 9)
+        strict_pool.crash(survivor_fraction=1.0, seed=1)
+        pool = PMemPool.open(pool_dir)
+        assert pool.read_u64(off) == 9
+        pool.close()
+
+    def test_survivor_fraction_is_seeded(self, tmp_path):
+        outcomes = []
+        for run in range(2):
+            d = str(tmp_path / f"p{run}")
+            pool = PMemPool.create(d, extent_size=EXTENT, mode=PMemMode.STRICT)
+            offs = [pool.allocate(64) for _ in range(32)]
+            for i, off in enumerate(offs):
+                pool.write_u64(off, i + 1)
+            pool.crash(survivor_fraction=0.5, seed=99)
+            again = PMemPool.open(d)
+            outcomes.append(tuple(again.read_u64(off) for off in offs))
+            again.close()
+        assert outcomes[0] == outcomes[1]
+
+    def test_rewrite_after_flush_reverts_to_flushed_value(
+        self, strict_pool, pool_dir
+    ):
+        off = strict_pool.allocate(64)
+        strict_pool.write_u64(off, 5)
+        strict_pool.persist(off, 8)
+        strict_pool.write_u64(off, 6)
+        strict_pool.write_u64(off, 7)  # still unflushed
+        strict_pool.crash()
+        pool = PMemPool.open(pool_dir)
+        assert pool.read_u64(off) == 5
+        pool.close()
+
+
+class TestAccounting:
+    def test_write_and_flush_counted(self, pool):
+        off = pool.allocate(256)
+        before_flushes = pool.stats.lines_flushed
+        pool.write(off, b"x" * 200)
+        pool.flush(off, 200)
+        pool.drain()
+        assert pool.stats.bytes_written >= 200
+        assert pool.stats.lines_flushed - before_flushes == 4  # 200B -> 4 lines
+        assert pool.stats.drain_calls >= 1
+
+    def test_modelled_time_scales_with_multiplier(self, pool_dir):
+        model = LatencyModel(write_multiplier=4.0)
+        pool = PMemPool.create(pool_dir, extent_size=EXTENT, latency=model)
+        off = pool.allocate(64)
+        pool.write_u64(off, 1)
+        pool.persist(off, 8)
+        single = LatencyModel(write_multiplier=1.0)
+        base = pool.stats.lines_flushed * single.write_ns_per_line
+        assert pool.stats.modelled_ns() > base
+        pool.close()
+
+    def test_stats_reset(self, pool):
+        off = pool.allocate(64)
+        pool.write_u64(off, 1)
+        pool.stats.reset()
+        assert pool.stats.bytes_written == 0
+        assert pool.stats.allocations == 0

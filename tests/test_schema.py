@@ -1,0 +1,88 @@
+"""Unit tests for schemas and data types."""
+
+import pytest
+
+from repro.storage.schema import ColumnDef, Schema
+from repro.storage.types import DataType
+
+
+class TestDataType:
+    def test_int_validation(self):
+        assert DataType.INT64.validate(5) == 5
+        assert DataType.INT64.validate(None) is None
+        with pytest.raises(TypeError):
+            DataType.INT64.validate("5")
+        with pytest.raises(TypeError):
+            DataType.INT64.validate(True)  # bools are not ints here
+
+    def test_float_validation_coerces_ints(self):
+        assert DataType.FLOAT64.validate(5) == 5.0
+        assert isinstance(DataType.FLOAT64.validate(5), float)
+        with pytest.raises(TypeError):
+            DataType.FLOAT64.validate("x")
+
+    def test_string_validation(self):
+        assert DataType.STRING.validate("abc") == "abc"
+        with pytest.raises(TypeError):
+            DataType.STRING.validate(1)
+
+    def test_python_type(self):
+        assert DataType.INT64.python_type is int
+        assert DataType.STRING.python_type is str
+
+
+class TestColumnDef:
+    def test_invalid_names_rejected(self):
+        for bad in ("", "1abc", "a b", "a-b"):
+            with pytest.raises(ValueError):
+                ColumnDef(bad, DataType.INT64)
+
+    def test_valid_name(self):
+        col = ColumnDef("order_id", DataType.INT64)
+        assert col.name == "order_id"
+
+
+class TestSchema:
+    def test_of_constructor(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.STRING)
+        assert schema.names == ["a", "b"]
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([ColumnDef("x", DataType.INT64), ColumnDef("x", DataType.STRING)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema([])
+
+    def test_column_index(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.STRING)
+        assert schema.column_index("b") == 1
+        with pytest.raises(KeyError):
+            schema.column_index("zz")
+
+    def test_validate_row_fills_nulls(self):
+        schema = Schema.of(a=DataType.INT64, b=DataType.STRING)
+        assert schema.validate_row({"a": 1}) == [1, None]
+
+    def test_validate_row_rejects_unknown(self):
+        schema = Schema.of(a=DataType.INT64)
+        with pytest.raises(KeyError):
+            schema.validate_row({"a": 1, "zz": 2})
+
+    def test_validate_row_type_checks(self):
+        schema = Schema.of(a=DataType.INT64)
+        with pytest.raises(TypeError):
+            schema.validate_row({"a": "not an int"})
+
+    def test_serialisation_roundtrip(self):
+        schema = Schema.of(
+            id=DataType.INT64, name=DataType.STRING, score=DataType.FLOAT64
+        )
+        assert Schema.from_bytes(schema.to_bytes()) == schema
+
+    def test_serialisation_unicode_names(self):
+        schema = Schema([ColumnDef("naïve_col", DataType.STRING)])
+        # Identifiers may be unicode in Python.
+        assert Schema.from_bytes(schema.to_bytes()) == schema

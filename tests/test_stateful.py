@@ -1,0 +1,153 @@
+"""Stateful (rule-based) property tests for the persistent structures."""
+
+import numpy as np
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.nvm.phash import PHashMap
+from repro.nvm.pool import PMemPool
+from repro.nvm.pvector import PVector
+
+
+class PHashModel(RuleBasedStateMachine):
+    """PHashMap against a multiset-of-pairs model, with reattaches."""
+
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self._dir = tempfile.mkdtemp()
+        self.pool = PMemPool.create(
+            self._dir + "/pool", extent_size=2 * 1024 * 1024
+        )
+        self.map = PHashMap.create(self.pool, capacity=8)
+        self.model: list[tuple[int, int]] = []
+
+    @rule(key=st.integers(0, 30), value=st.integers(0, 2**62))
+    def insert(self, key, value):
+        self.map.insert(key, value)
+        self.model.append((key, value))
+
+    @rule(key=st.integers(0, 30), value=st.integers(0, 2**62))
+    def remove(self, key, value):
+        expected = (key, value) in self.model
+        assert self.map.remove_one(key, value) == expected
+        if expected:
+            self.model.remove((key, value))
+
+    @rule()
+    def reattach(self):
+        self.map = PHashMap.attach(self.pool, self.map.offset)
+
+    @rule(key=st.integers(0, 30))
+    def lookup(self, key):
+        expected = sorted(v for k, v in self.model if k == key)
+        assert sorted(self.map.get_all(key)) == expected
+
+    @invariant()
+    def count_matches(self):
+        assert len(self.map) == len(self.model)
+
+    def teardown(self):
+        if not self.pool._closed:
+            self.pool.close()
+
+
+class PVectorModel(RuleBasedStateMachine):
+    """PVector against a list model, with clean-close reattaches."""
+
+    def __init__(self):
+        super().__init__()
+        import tempfile
+
+        self._dir = tempfile.mkdtemp()
+        self.pool = PMemPool.create(
+            self._dir + "/pool", extent_size=2 * 1024 * 1024
+        )
+        self.vec = PVector.create(self.pool, np.uint64, chunk_capacity=4)
+        self.pool.set_root(self.vec.offset)
+        self.model: list[int] = []
+
+    @rule(value=st.integers(0, 2**63))
+    def append(self, value):
+        assert self.vec.append(value) == len(self.model)
+        self.model.append(value)
+
+    @rule(values=st.lists(st.integers(0, 2**63), max_size=15))
+    def extend(self, values):
+        self.vec.extend(np.asarray(values, dtype=np.uint64))
+        self.model.extend(values)
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def set_element(self, data):
+        index = data.draw(st.integers(0, len(self.model) - 1))
+        value = data.draw(st.integers(0, 2**63))
+        self.vec.set(index, value)
+        self.model[index] = value
+
+    @rule()
+    def reopen(self):
+        self.pool.close()
+        self.pool = PMemPool.open(self._dir + "/pool")
+        self.vec = PVector.attach(self.pool, self.pool.root_offset)
+
+    @invariant()
+    def contents_match(self):
+        assert list(self.vec.to_numpy()) == self.model
+
+    def teardown(self):
+        if not self.pool._closed:
+            self.pool.close()
+
+
+TestPHashModel = PHashModel.TestCase
+TestPHashModel.settings = settings(max_examples=25, deadline=None, stateful_step_count=30)
+
+TestPVectorModel = PVectorModel.TestCase
+TestPVectorModel.settings = settings(max_examples=25, deadline=None, stateful_step_count=30)
+
+
+def test_run_all_single_experiment():
+    """The standalone runner regenerates an experiment table."""
+    from repro.bench.run_all import run_e7
+
+    table = run_e7(quick=True)
+    assert "E7" in table
+    assert "volatile" in table and "persistent" in table
+
+
+def test_run_all_cli_only_filter(capsys, tmp_path):
+    from repro.bench import run_all
+
+    out = str(tmp_path / "report.txt")
+    assert run_all.main(["--quick", "--only", "E2", "--out", out]) == 0
+    text = capsys.readouterr().out
+    assert "E2" in text
+    with open(out) as f:
+        assert "recovery breakdown" in f.read()
+
+
+def test_database_verify_clean(none_db):
+    from repro.storage.types import DataType
+
+    none_db.create_table("t", {"a": DataType.INT64})
+    none_db.insert("t", {"a": 1})
+    assert none_db.verify() == []
+
+
+def test_database_verify_detects_damage(none_db):
+    from repro.storage.types import DataType
+
+    none_db.create_table("t", {"a": DataType.INT64})
+    none_db.insert("t", {"a": 1})
+    none_db.table("t").delta.mvcc.set_tid(0, 42)  # corrupt on purpose
+    assert none_db.verify() != []

@@ -1,0 +1,174 @@
+"""Unit tests for log records, writer, and reader."""
+
+import os
+
+import pytest
+
+from repro.wal.reader import count_records, read_log
+from repro.wal.records import (
+    AbortRecord,
+    CommitRecord,
+    CreateTableRecord,
+    InsertRecord,
+    InvalidateRecord,
+    decode_record,
+    encode_record,
+)
+from repro.wal.writer import LogWriter
+
+
+RECORDS = [
+    InsertRecord(1, 2, (5, "text", 2.5, None)),
+    InvalidateRecord(3, 2, (1 << 63) | 17),
+    CommitRecord(1, 9),
+    AbortRecord(3),
+    CreateTableRecord(4, "tbl", b"\x01\x02schema"),
+]
+
+
+class TestRecordCodec:
+    @pytest.mark.parametrize("record", RECORDS, ids=lambda r: type(r).__name__)
+    def test_roundtrip(self, record):
+        frame = encode_record(record)
+        decoded, end = decode_record(frame, 0)
+        assert decoded == record
+        assert end == len(frame)
+
+    def test_unicode_values(self):
+        record = InsertRecord(1, 1, ("héllo ✓", -1, 0.0))
+        decoded, _ = decode_record(encode_record(record), 0)
+        assert decoded == record
+
+    def test_truncated_frame_returns_none(self):
+        frame = encode_record(RECORDS[0])
+        assert decode_record(frame[:-1], 0) is None
+        assert decode_record(frame[:4], 0) is None
+
+    def test_corrupt_payload_fails_crc(self):
+        frame = bytearray(encode_record(RECORDS[0]))
+        frame[-1] ^= 0xFF
+        assert decode_record(bytes(frame), 0) is None
+
+    def test_bool_values_rejected(self):
+        with pytest.raises(TypeError):
+            encode_record(InsertRecord(1, 1, (True,)))
+
+    def test_unsupported_value_rejected(self):
+        with pytest.raises(TypeError):
+            encode_record(InsertRecord(1, 1, (object(),)))
+
+
+class TestLogWriter:
+    def test_writes_readable_records(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=1)
+        writer.log_insert(1, 2, [5, "x"])
+        writer.log_commit(1, 1)
+        writer.close()
+        records = [r for r, _ in read_log(path)]
+        assert records == [InsertRecord(1, 2, (5, "x")), CommitRecord(1, 1)]
+
+    def test_sync_per_commit(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=1)
+        for i in range(5):
+            writer.log_commit(i, i + 1)
+        assert writer.syncs == 5
+        writer.close()
+
+    def test_group_commit_batches_syncs(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=4)
+        for i in range(8):
+            writer.log_commit(i, i + 1)
+        assert writer.syncs == 2
+        writer.close()
+
+    def test_async_never_syncs_until_close(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=0)
+        for i in range(10):
+            writer.log_commit(i, i + 1)
+        assert writer.syncs == 0
+        writer.close()
+        assert writer.syncs == 1
+
+    def test_crash_truncates_to_last_sync(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=2)
+        writer.log_commit(1, 1)  # pending, not synced
+        writer.log_commit(2, 2)  # triggers sync — 2 commits durable
+        writer.log_commit(3, 3)  # pending again
+        writer.crash()
+        assert count_records(path) == 2
+
+    def test_crash_before_any_sync_empties_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=0)
+        writer.log_insert(1, 1, [1])
+        writer.crash()
+        assert count_records(path) == 0
+
+    def test_append_to_existing_log(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=1)
+        writer.log_commit(1, 1)
+        writer.close()
+        writer = LogWriter(path, group_size=1)
+        writer.log_commit(2, 2)
+        writer.close()
+        assert count_records(path) == 2
+
+    def test_ddl_always_synced(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=0)
+        writer.log_create_table(1, "t", b"s")
+        assert writer.syncs == 1
+        writer.close()
+
+    def test_lsn_tracks_bytes(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=1)
+        assert writer.lsn == 0
+        writer.log_commit(1, 1)
+        assert writer.lsn == os.path.getsize(path)
+        writer.close()
+
+    def test_negative_group_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            LogWriter(str(tmp_path / "w.log"), group_size=-1)
+
+
+class TestReader:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(read_log(str(tmp_path / "absent.log"))) == []
+
+    def test_start_lsn_skips_prefix(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=1)
+        writer.log_commit(1, 1)
+        middle = writer.lsn
+        writer.log_commit(2, 2)
+        writer.close()
+        records = [r for r, _ in read_log(path, start_lsn=middle)]
+        assert records == [CommitRecord(2, 2)]
+
+    def test_stops_at_torn_tail(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=1)
+        writer.log_commit(1, 1)
+        writer.close()
+        with open(path, "ab") as f:
+            f.write(b"\x50\x00\x00\x00garbage")
+        assert count_records(path) == 1
+
+    def test_end_lsn_usable_as_resume_point(self, tmp_path):
+        path = str(tmp_path / "wal.log")
+        writer = LogWriter(path, group_size=1)
+        writer.log_commit(1, 1)
+        writer.log_commit(2, 2)
+        writer.close()
+        pairs = list(read_log(path))
+        __, first_end = pairs[0]
+        resumed = [r for r, _ in read_log(path, start_lsn=first_end)]
+        assert resumed == [CommitRecord(2, 2)]
