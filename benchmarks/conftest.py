@@ -94,3 +94,46 @@ def time_restart(path: str, cfg: EngineConfig) -> tuple[float, Database]:
     db = Database(path, cfg)
     elapsed = time.perf_counter() - start
     return elapsed, db
+
+
+def build_sharded_db(
+    path: str,
+    mode: DurabilityMode,
+    rows: int,
+    shards: int,
+    checkpoint: bool = False,
+    crash: bool = True,
+    seed: int = 11,
+    **overrides,
+):
+    """Create and populate a sharded engine, then crash (or close) it.
+
+    Returns the config to reopen it with.
+    """
+    from repro.core.sharding import ShardedEngine
+
+    cfg = config_for(mode, shards=shards, **overrides)
+    eng = ShardedEngine(path, cfg)
+    gen = WideRowGenerator(seed=seed)
+    eng.create_table("wide", {col.name: col.dtype for col in gen.schema})
+    remaining = rows
+    while remaining > 0:
+        eng.bulk_insert("wide", gen.rows(min(5000, remaining)))
+        remaining -= 5000
+    if checkpoint and mode is DurabilityMode.LOG:
+        eng.checkpoint()
+    if crash:
+        eng.crash(seed=3)
+    else:
+        eng.close()
+    return cfg
+
+
+def time_sharded_restart(path: str, cfg: EngineConfig):
+    """Wall time of a sharded cold open; caller closes the engine."""
+    from repro.core.sharding import ShardedEngine
+
+    start = time.perf_counter()
+    eng = ShardedEngine(path, cfg)
+    elapsed = time.perf_counter() - start
+    return elapsed, eng

@@ -14,7 +14,15 @@ Public entry points::
     )
 """
 
-from repro.core import Database, DurabilityMode, EngineConfig, Transaction
+from repro.core import (
+    Database,
+    DurabilityDriver,
+    DurabilityMode,
+    EngineConfig,
+    ShardedEngine,
+    ShardedResult,
+    Transaction,
+)
 from repro.storage import ColumnDef, DataType, Schema
 from repro.query import (
     And,
@@ -49,6 +57,7 @@ __all__ = [
     "ColumnDef",
     "DataType",
     "Database",
+    "DurabilityDriver",
     "DurabilityMode",
     "EngineConfig",
     "Eq",
@@ -64,6 +73,8 @@ __all__ = [
     "Or",
     "Predicate",
     "Schema",
+    "ShardedEngine",
+    "ShardedResult",
     "Transaction",
     "TransactionConflict",
     "TransactionError",

@@ -5,7 +5,7 @@ Usage::
     python -m repro.bench.run_all [--quick] [--only E1,E3] [--out report.md]
 
 Runs the same experiments as ``pytest benchmarks/ --benchmark-only``
-(E1–E7) in-process and prints/saves the result tables. ``--quick``
+(E1–E9) in-process and prints/saves the result tables. ``--quick``
 shrinks sweeps by ~4x for a fast smoke run.
 """
 
@@ -246,6 +246,55 @@ def run_e7(quick: bool) -> str:
     return format_table(rows_out, title="E7: persistent vs volatile delta index")
 
 
+def run_e9(quick: bool) -> str:
+    from repro.core.sharding import ShardedEngine
+
+    rows = 16_000 if quick else 48_000
+    shard_counts = [1, 4] if quick else [1, 2, 4, 8]
+    gen_seed = 11
+    rows_out = []
+    for tag, mode, ckpt in [
+        ("log_checkpoint", DurabilityMode.LOG, True),
+        ("nvm", DurabilityMode.NVM, False),
+    ]:
+        baseline = None
+        for shards in shard_counts:
+            base = tempfile.mkdtemp(prefix="e9-")
+            try:
+                cfg = _config(mode, shards=shards)
+                eng = ShardedEngine(base, cfg)
+                gen = WideRowGenerator(seed=gen_seed)
+                eng.create_table("wide", {c.name: c.dtype for c in gen.schema})
+                remaining = rows
+                while remaining > 0:
+                    eng.bulk_insert("wide", gen.rows(min(5000, remaining)))
+                    remaining -= 5000
+                if ckpt:
+                    eng.checkpoint()
+                eng.crash(seed=3)
+                start = time.perf_counter()
+                eng = ShardedEngine(base, cfg)
+                wall = time.perf_counter() - start
+                report = eng.last_recovery
+                if baseline is None:
+                    baseline = wall
+                rows_out.append(
+                    {
+                        "mode": tag,
+                        "shards": shards,
+                        "restart_s": wall,
+                        "parallel_speedup": report.parallel_speedup,
+                        "speedup_vs_1shard": baseline / wall,
+                    }
+                )
+                eng.close()
+            finally:
+                shutil.rmtree(base, ignore_errors=True)
+    return format_table(
+        rows_out, title=f"E9: restart time vs shard count ({rows} rows)"
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -254,6 +303,7 @@ EXPERIMENTS = {
     "E5": run_e5,
     "E6": run_e6,
     "E7": run_e7,
+    "E9": run_e9,
 }
 
 

@@ -1,6 +1,33 @@
-"""Engine facade: configuration, database lifecycle, transactions."""
+"""Engine facade: configuration, database lifecycle, transactions.
+
+``Database`` is the single-shard session layer; *how* it survives
+restarts is a pluggable :class:`DurabilityDriver` (NVM pool, WAL +
+checkpoints, or nothing). ``ShardedEngine`` hash-partitions rows across
+many ``Database`` instances and recovers them in parallel.
+"""
 
 from repro.core.config import DurabilityMode, EngineConfig
 from repro.core.database import Database, Transaction
+from repro.core.durability import (
+    DurabilityDriver,
+    LogDriver,
+    NoneDriver,
+    NvmDriver,
+    create_driver,
+)
+from repro.core.sharding import ShardedEngine, ShardedResult, partition_of
 
-__all__ = ["Database", "DurabilityMode", "EngineConfig", "Transaction"]
+__all__ = [
+    "Database",
+    "DurabilityDriver",
+    "DurabilityMode",
+    "EngineConfig",
+    "LogDriver",
+    "NoneDriver",
+    "NvmDriver",
+    "ShardedEngine",
+    "ShardedResult",
+    "Transaction",
+    "create_driver",
+    "partition_of",
+]

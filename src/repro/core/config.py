@@ -36,6 +36,12 @@ class EngineConfig:
     """
 
     mode: DurabilityMode = DurabilityMode.NVM
+    #: Hash-partition shard count. ``1`` = a plain single :class:`Database`
+    #: (today's on-disk layout, unchanged); ``> 1`` is consumed by
+    #: :class:`~repro.core.sharding.ShardedEngine`, which runs one engine
+    #: instance per shard under ``path/shard-NNNN/`` and recovers them in
+    #: parallel.
+    shards: int = 1
     #: Size of each pmem extent file (NVM mode).
     extent_size: int = 64 * 1024 * 1024
     #: STRICT enables cache-line crash simulation (tests); FAST for speed.
@@ -60,6 +66,8 @@ class EngineConfig:
     auto_merge_rows: Optional[int] = None
 
     def validated(self) -> "EngineConfig":
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
         if self.group_commit_size < 0:
             raise ValueError("group_commit_size must be >= 0")
         if self.txn_slots < 1:

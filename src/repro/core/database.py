@@ -1,6 +1,9 @@
 """The engine facade: open a database, run transactions, survive restarts.
 
-``Database`` wires together one durability mode's worth of substrates:
+``Database`` is the single-shard session layer — catalog registry,
+transaction routing, queries, and maintenance. *How* state survives a
+restart is delegated to a pluggable
+:class:`~repro.core.durability.DurabilityDriver`:
 
 ========  =====================  ==========================  =================
 mode      storage backend        durability                  restart cost
@@ -20,40 +23,31 @@ Typical usage::
         txn.insert("items", {"id": 1, "name": "anvil"})
     print(db.query("items").rows())
     db = db.restart()            # instant — survives a crash, too
+
+For hash-partitioned multi-shard deployments see
+:class:`~repro.core.sharding.ShardedEngine`, which fans out over many
+``Database`` instances (one per shard) and recovers them in parallel.
 """
 
 from __future__ import annotations
 
-import json
 import os
-import time
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.core.config import DurabilityMode, EngineConfig
-from repro.core.nvm_catalog import NvmCatalog
+from repro.core.durability import DurabilityDriver, create_driver
 from repro.index.table_index import TableIndex
 from repro.nvm.pool import PMemPool
-from repro.query.predicate import Eq, IsNull, Predicate
+from repro.query.predicate import Predicate
 from repro.query.scan import ScanResult, scan
-from repro.recovery.nvm_recovery import recover_nvm
-from repro.recovery.log_recovery import recover_log
-from repro.recovery.report import PhaseTimer, RecoveryReport
-from repro.storage.backend import NvmBackend, VolatileBackend
+from repro.recovery.report import RecoveryReport
 from repro.storage.schema import ColumnDef, Schema
 from repro.storage.table import Table, unpack_rowref
 from repro.storage.merge import merge_table
 from repro.storage.types import DataType
 from repro.txn.context import TransactionContext
-from repro.txn.manager import (
-    TransactionManager,
-    VolatileCidStore,
-    VolatileTidAllocator,
-)
-from repro.txn.txn_table import VolatileTxnTable
-from repro.wal.checkpoint import CheckpointData, snapshot_table, write_checkpoint
-from repro.wal.writer import LogWriter
 
 SchemaLike = Union[Schema, dict]
 
@@ -138,142 +132,20 @@ class Database:
     def __init__(self, path: str, config: Optional[EngineConfig] = None):
         self.path = path
         self.config = (config or EngineConfig()).validated()
+        if self.config.shards != 1:
+            raise ValueError(
+                "Database is single-shard; use repro.ShardedEngine "
+                f"for shards={self.config.shards}"
+            )
         self.mode = self.config.mode
         self._tables_by_id: dict[int, Table] = {}
         self._tables_by_name: dict[str, Table] = {}
         self._indexes: dict[int, dict[str, TableIndex]] = {}
         self._closed = False
-        self._pool: Optional[PMemPool] = None
-        self._catalog: Optional[NvmCatalog] = None
-        self._wal: Optional[LogWriter] = None
         self.last_recovery: Optional[RecoveryReport] = None
         os.makedirs(path, exist_ok=True)
-        if self.mode is DurabilityMode.NVM:
-            self._open_nvm()
-        elif self.mode is DurabilityMode.LOG:
-            self._open_log()
-        else:
-            self._open_none()
-
-    # ------------------------------------------------------------------
-    # Opening / recovery
-    # ------------------------------------------------------------------
-
-    @property
-    def _pool_dir(self) -> str:
-        return os.path.join(self.path, "pmem")
-
-    @property
-    def _log_path(self) -> str:
-        return os.path.join(self.path, "wal.log")
-
-    @property
-    def _checkpoint_path(self) -> str:
-        return os.path.join(self.path, "checkpoint.ckpt")
-
-    @property
-    def _meta_path(self) -> str:
-        return os.path.join(self.path, "meta.json")
-
-    def _open_nvm(self) -> None:
-        report = RecoveryReport(mode="nvm")
-        cfg = self.config
-        with PhaseTimer(report, "pool_open"):
-            if PMemPool.exists(self._pool_dir):
-                self._pool = PMemPool.open(
-                    self._pool_dir, mode=cfg.pmem_mode, latency=cfg.latency
-                )
-                fresh = False
-            else:
-                self._pool = PMemPool.create(
-                    self._pool_dir,
-                    extent_size=cfg.extent_size,
-                    mode=cfg.pmem_mode,
-                    latency=cfg.latency,
-                )
-                fresh = True
-        self.backend = NvmBackend(self._pool)
-        with PhaseTimer(report, "catalog_attach"):
-            if fresh:
-                self._catalog = NvmCatalog.format(
-                    self._pool, self.backend, cfg.txn_slots
-                )
-            else:
-                self._catalog = NvmCatalog.attach(self._pool, self.backend)
-            txn_table = self._catalog.txn_table()
-            cids = self._catalog.cid_store()
-            tids = self._catalog.tid_allocator()
-            for table, indexes, _flag in self._catalog.attach_tables():
-                self._register(table, indexes)
-        fixup = recover_nvm(txn_table, cids, self._table_by_id)
-        report.phases.extend(fixup.phases)
-        report.txns_rolled_back = fixup.txns_rolled_back
-        report.txns_rolled_forward = fixup.txns_rolled_forward
-        report.tables = len(self._tables_by_id)
-        self._pool.mark_opened()
-        self._manager = TransactionManager(
-            txn_table, cids, tids, self._table_by_id, wal=None
-        )
-        self.last_recovery = report
-
-    def _open_log(self) -> None:
-        self.backend = VolatileBackend()
-        tables, last_cid, next_table_id, _lsn, report = recover_log(
-            self._checkpoint_path, self._log_path, self.backend
-        )
-        max_tid = 0
-        for table in tables.values():
-            self._register(table, {})
-        # New tids must not collide with tids of transactions that are
-        # still parsable in the log tail.
-        from repro.wal.reader import read_log
-        from repro.wal.records import InsertRecord, InvalidateRecord
-
-        start = 0
-        if os.path.exists(self._checkpoint_path):
-            from repro.wal.checkpoint import read_checkpoint
-
-            start = read_checkpoint(self._checkpoint_path).lsn
-        for record, _ in read_log(self._log_path, start):
-            tid = getattr(record, "tid", 0)
-            max_tid = max(max_tid, tid)
-        self._next_table_id = next_table_id
-        self._wal = LogWriter(self._log_path, self.config.group_commit_size)
-        self._manager = TransactionManager(
-            VolatileTxnTable(self.config.txn_slots),
-            VolatileCidStore(last_cid),
-            VolatileTidAllocator(max_tid + 1),
-            self._table_by_id,
-            wal=self._wal,
-        )
-        with PhaseTimer(report, "index_rebuild"):
-            self._rebuild_declared_indexes()
-        report.tables = len(self._tables_by_id)
-        self.last_recovery = report
-
-    def _open_none(self) -> None:
-        self.backend = VolatileBackend()
-        self._next_table_id = 1
-        self._manager = TransactionManager(
-            VolatileTxnTable(self.config.txn_slots),
-            VolatileCidStore(),
-            VolatileTidAllocator(),
-            self._table_by_id,
-            wal=None,
-        )
-        self.last_recovery = RecoveryReport(mode="none")
-
-    def _rebuild_declared_indexes(self) -> None:
-        """LOG mode: recreate the indexes declared in meta.json."""
-        if not os.path.exists(self._meta_path):
-            return
-        with open(self._meta_path) as f:
-            meta = json.load(f)
-        for table_name, columns in meta.get("indexes", {}).items():
-            if table_name not in self._tables_by_name:
-                continue
-            for column in columns:
-                self._build_index(self.table(table_name), column, False)
+        self._driver: DurabilityDriver = create_driver(path, self.config)
+        self.last_recovery = self._driver.open(self)
 
     # ------------------------------------------------------------------
     # Registry helpers
@@ -304,6 +176,11 @@ class Database:
     def last_cid(self) -> int:
         return self._manager.last_cid
 
+    @property
+    def _pool(self) -> Optional[PMemPool]:
+        """The pmem pool when running on the NVM driver (else None)."""
+        return self._driver.pool
+
     # ------------------------------------------------------------------
     # DDL
     # ------------------------------------------------------------------
@@ -312,25 +189,7 @@ class Database:
         """Create a table; the definition is immediately durable."""
         if name in self._tables_by_name:
             raise ValueError(f"table {name!r} already exists")
-        schema = _coerce_schema(schema)
-        if self.mode is DurabilityMode.NVM:
-            table_id = self._catalog.next_table_id
-            table = Table.create(
-                table_id,
-                name,
-                schema,
-                self.backend,
-                persistent_dict_index=self.config.persistent_dict_index,
-            )
-            self._catalog.register_table(
-                table, {}, self.config.persistent_dict_index
-            )
-        else:
-            table_id = self._next_table_id
-            self._next_table_id += 1
-            table = Table.create(table_id, name, schema, self.backend)
-            if self._wal is not None:
-                self._wal.log_create_table(table_id, name, schema.to_bytes())
+        table = self._driver.create_table(name, _coerce_schema(schema))
         self._register(table, {})
         return table
 
@@ -339,14 +198,8 @@ class Database:
         table = self.table(table_name)
         if column in self._indexes[table.table_id]:
             raise ValueError(f"index on {table_name}.{column} already exists")
-        persistent_delta = (
-            self.mode is DurabilityMode.NVM and self.config.persistent_delta_index
-        )
-        index = self._build_index(table, column, persistent_delta)
-        if self.mode is DurabilityMode.NVM:
-            self._catalog.publish_content(table, self._indexes[table.table_id])
-        elif self.mode is DurabilityMode.LOG:
-            self._save_meta()
+        index = self._build_index(table, column, self._driver.persistent_delta_index)
+        self._driver.on_index_created(table)
         return index
 
     def _build_index(
@@ -357,19 +210,6 @@ class Database:
         )
         self._indexes[table.table_id][column] = index
         return index
-
-    def _save_meta(self) -> None:
-        meta = {
-            "indexes": {
-                self._tables_by_id[tid].name: sorted(cols)
-                for tid, cols in self._indexes.items()
-                if cols
-            }
-        }
-        tmp = self._meta_path + ".tmp"
-        with open(tmp, "w") as f:
-            json.dump(meta, f)
-        os.replace(tmp, self._meta_path)
 
     def indexes_on(self, table_name: str) -> dict[str, TableIndex]:
         """The index registry for one table."""
@@ -384,15 +224,10 @@ class Database:
         if self._manager.active_count:
             raise RuntimeError("cannot drop a table with active transactions")
         table = self.table(name)
-        if self.mode is DurabilityMode.NVM:
-            self._catalog.mark_dropped(table.table_id)
-        elif self._wal is not None:
-            self._wal.log_drop_table(table.table_id)
         del self._tables_by_name[name]
         del self._tables_by_id[table.table_id]
         self._indexes.pop(table.table_id, None)
-        if self.mode is DurabilityMode.LOG:
-            self._save_meta()
+        self._driver.on_table_dropped(table)
 
     # ------------------------------------------------------------------
     # Transactions and queries
@@ -453,12 +288,15 @@ class Database:
             if table is not None and table.delta_row_count >= threshold:
                 self.merge(table.name)
 
-    def bulk_insert(self, table_name: str, rows: Sequence[dict]) -> int:
+    def bulk_insert(
+        self, table_name: str, rows: Sequence[dict], _cid: Optional[int] = None
+    ) -> int:
         """Load many rows in one committed batch (the fast loader path).
 
         On NVM the batch publishes atomically via the begin-vector store;
         in LOG mode every row is logged and the commit record is synced.
-        Returns the commit id.
+        ``_cid`` lets a sharded engine impose a global commit id (it must
+        exceed this shard's ``last_cid``). Returns the commit id.
         """
         table = self.table(table_name)
         if not rows:
@@ -472,12 +310,8 @@ class Database:
             )
             for ci in range(len(schema))
         ]
-        cid = self._manager.last_cid + 1
-        if self._wal is not None:
-            tid = self._manager._tids.next()
-            for values in value_rows:
-                self._wal.log_insert(tid, table.table_id, values)
-            self._wal.log_commit(tid, cid)
+        cid = self._manager.last_cid + 1 if _cid is None else _cid
+        self._driver.log_bulk_load(table, value_rows, cid)
         first = table.delta.bulk_load(columns, begin_cid=cid)
         self._manager._cids.advance(cid)
         indexes = self._indexes.get(table.table_id)
@@ -515,28 +349,11 @@ class Database:
             for column, old in old_indexes.items()
         }
         self._indexes[table.table_id] = new_indexes
-        if self.mode is DurabilityMode.NVM:
-            self._catalog.publish_content(table, new_indexes)
-        elif self.mode is DurabilityMode.LOG and self.config.checkpoint_after_merge:
-            self.checkpoint()
+        self._driver.on_merge(table)
 
     def checkpoint(self) -> int:
         """LOG mode: write a full snapshot; returns bytes written."""
-        if self.mode is not DurabilityMode.LOG:
-            raise RuntimeError("checkpoints only apply to LOG mode")
-        if self._manager.active_count:
-            raise RuntimeError("cannot checkpoint with active transactions")
-        assert self._wal is not None
-        self._wal.sync()
-        data = CheckpointData(
-            last_cid=self._manager.last_cid,
-            lsn=self._wal.lsn,
-            next_table_id=self._next_table_id,
-            tables=[
-                snapshot_table(t) for t in self._tables_by_id.values()
-            ],
-        )
-        return write_checkpoint(data, self._checkpoint_path)
+        return self._driver.checkpoint()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -546,20 +363,14 @@ class Database:
         """Orderly shutdown (marks the pool clean / syncs the log)."""
         if self._closed:
             return
-        if self._pool is not None:
-            self._pool.close(clean=True)
-        if self._wal is not None:
-            self._wal.close()
+        self._driver.close()
         self._closed = True
 
     def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
         """Simulate a power failure (unflushed state is lost)."""
         if self._closed:
             return
-        if self._pool is not None:
-            self._pool.crash(survivor_fraction=survivor_fraction, seed=seed)
-        if self._wal is not None:
-            self._wal.crash()
+        self._driver.crash(survivor_fraction=survivor_fraction, seed=seed)
         self._closed = True
 
     def restart(self, config: Optional[EngineConfig] = None) -> "Database":
@@ -596,14 +407,7 @@ class Database:
             "conflicts": self._manager.conflicts,
             "last_cid": self._manager.last_cid,
         }
-        if self._pool is not None:
-            out["nvm"] = self._pool.stats.snapshot()
-        if self._wal is not None:
-            out["wal"] = {
-                "records": self._wal.records_written,
-                "syncs": self._wal.syncs,
-                "bytes": self._wal.bytes_written,
-            }
+        out.update(self._driver.extra_stats())
         return out
 
     def memory_report(self) -> dict:

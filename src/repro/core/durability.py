@@ -1,0 +1,409 @@
+"""Durability drivers: the pluggable layer beneath the engine facade.
+
+Each :class:`~repro.core.database.Database` owns exactly one driver that
+encapsulates *how* state survives (or doesn't survive) a restart:
+
+* :class:`NvmDriver`  — the paper's engine: every structure lives on a
+  :class:`~repro.nvm.pool.PMemPool`; recovery is the O(in-flight) txn
+  fix-up pass over the persistent transaction table.
+* :class:`LogDriver`  — the classic baseline: DRAM structures, a
+  write-ahead log with group commit, and checkpoints; recovery replays.
+* :class:`NoneDriver` — DRAM only; nothing survives (the overhead floor).
+
+The facade calls a driver at well-defined hook points (open, DDL,
+bulk-load logging, merge publication, checkpoint, close, crash) and
+never branches on the durability mode itself. Drivers hold the mode's
+resources (pool, catalog, WAL handle) and are responsible for releasing
+them — including on a *failed* open, so a corrupt directory never leaks
+mmap handles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.nvm_catalog import NvmCatalog
+from repro.nvm.pool import PMemPool
+from repro.recovery.log_recovery import recover_log
+from repro.recovery.nvm_recovery import recover_nvm
+from repro.recovery.report import PhaseTimer, RecoveryReport
+from repro.storage.backend import NvmBackend, VolatileBackend
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.txn.manager import (
+    TransactionManager,
+    VolatileCidStore,
+    VolatileTidAllocator,
+)
+from repro.txn.txn_table import VolatileTxnTable
+from repro.wal.checkpoint import CheckpointData, snapshot_table, write_checkpoint
+from repro.wal.writer import LogWriter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.database import Database
+
+
+class DurabilityDriver(ABC):
+    """Strategy interface between the facade and one durability stack.
+
+    ``open`` binds the driver to its engine (the driver needs the
+    engine's table registry for recovery registration, index rebuilds,
+    and checkpoint snapshots); every later hook uses that binding.
+    """
+
+    mode: DurabilityMode
+
+    def __init__(self, path: str, config: EngineConfig):
+        self.path = path
+        self.config = config
+        self._db: Optional["Database"] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @abstractmethod
+    def open(self, db: "Database") -> RecoveryReport:
+        """Attach/recover durable state; wire the engine's backend and
+        transaction manager; register recovered tables on ``db``."""
+
+    def close(self) -> None:
+        """Orderly shutdown (mark clean / sync)."""
+
+    def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
+        """Simulate a power failure (unflushed state is lost)."""
+
+    # -- DDL hooks -----------------------------------------------------
+
+    @abstractmethod
+    def create_table(self, name: str, schema: Schema) -> Table:
+        """Create a table on this driver's backend; make the definition
+        durable; return it (the facade registers it)."""
+
+    def on_index_created(self, table: Table) -> None:
+        """Durably declare a new secondary index."""
+
+    def on_table_dropped(self, table: Table) -> None:
+        """Durably drop a table (called after facade deregistration)."""
+
+    def on_merge(self, table: Table) -> None:
+        """Publish a freshly merged generation."""
+
+    @property
+    def persistent_delta_index(self) -> bool:
+        """Default for new secondary indexes' delta half."""
+        return False
+
+    # -- commit hooks --------------------------------------------------
+
+    def log_bulk_load(
+        self, table: Table, value_rows: Sequence[Sequence], cid: int
+    ) -> None:
+        """Make one bulk-loaded batch durable under commit id ``cid``."""
+
+    def checkpoint(self) -> int:
+        """Write a full snapshot; returns bytes written (LOG only)."""
+        raise RuntimeError("checkpoints only apply to LOG mode")
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def pool(self) -> Optional[PMemPool]:
+        """The pmem pool, when this driver has one."""
+        return None
+
+    def extra_stats(self) -> dict:
+        """Driver-specific entries merged into ``Database.stats()``."""
+        return {}
+
+
+class NvmDriver(DurabilityDriver):
+    """Hyrise-NV durability: the durable state *is* the runtime state."""
+
+    mode = DurabilityMode.NVM
+
+    def __init__(self, path: str, config: EngineConfig):
+        super().__init__(path, config)
+        self._pool: Optional[PMemPool] = None
+        self._catalog: Optional[NvmCatalog] = None
+
+    @property
+    def pool_dir(self) -> str:
+        return os.path.join(self.path, "pmem")
+
+    @property
+    def pool(self) -> Optional[PMemPool]:
+        return self._pool
+
+    def open(self, db: "Database") -> RecoveryReport:
+        self._db = db
+        report = RecoveryReport(mode="nvm")
+        cfg = self.config
+        try:
+            with PhaseTimer(report, "pool_open"):
+                if PMemPool.exists(self.pool_dir):
+                    self._pool = PMemPool.open(
+                        self.pool_dir, mode=cfg.pmem_mode, latency=cfg.latency
+                    )
+                    fresh = False
+                else:
+                    self._pool = PMemPool.create(
+                        self.pool_dir,
+                        extent_size=cfg.extent_size,
+                        mode=cfg.pmem_mode,
+                        latency=cfg.latency,
+                    )
+                    fresh = True
+            self.backend = NvmBackend(self._pool)
+            db.backend = self.backend
+            with PhaseTimer(report, "catalog_attach"):
+                if fresh:
+                    self._catalog = NvmCatalog.format(
+                        self._pool, self.backend, cfg.txn_slots
+                    )
+                else:
+                    self._catalog = NvmCatalog.attach(self._pool, self.backend)
+                txn_table = self._catalog.txn_table()
+                cids = self._catalog.cid_store()
+                tids = self._catalog.tid_allocator()
+                for table, indexes, _flag in self._catalog.attach_tables():
+                    db._register(table, indexes)
+            fixup = recover_nvm(txn_table, cids, db._table_by_id)
+            report.phases.extend(fixup.phases)
+            report.txns_rolled_back = fixup.txns_rolled_back
+            report.txns_rolled_forward = fixup.txns_rolled_forward
+            report.tables = len(db._tables_by_id)
+            self._pool.mark_opened()
+            db._manager = TransactionManager(
+                txn_table, cids, tids, db._table_by_id, wal=None
+            )
+        except Exception:
+            # Never leak the mmapped extents of a pool we failed to
+            # attach to (corrupt header, missing catalog root, ...).
+            if self._pool is not None and not self._pool._closed:
+                self._pool.close(clean=False)
+            raise
+        return report
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        table = Table.create(
+            self._catalog.next_table_id,
+            name,
+            schema,
+            self.backend,
+            persistent_dict_index=self.config.persistent_dict_index,
+        )
+        self._catalog.register_table(table, {}, self.config.persistent_dict_index)
+        return table
+
+    def on_index_created(self, table: Table) -> None:
+        self._catalog.publish_content(table, self._db._indexes[table.table_id])
+
+    def on_table_dropped(self, table: Table) -> None:
+        self._catalog.mark_dropped(table.table_id)
+
+    def on_merge(self, table: Table) -> None:
+        self._catalog.publish_content(table, self._db._indexes[table.table_id])
+
+    @property
+    def persistent_delta_index(self) -> bool:
+        return self.config.persistent_delta_index
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.close(clean=True)
+
+    def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
+        if self._pool is not None:
+            self._pool.crash(survivor_fraction=survivor_fraction, seed=seed)
+
+    def extra_stats(self) -> dict:
+        return {"nvm": self._pool.stats.snapshot()}
+
+
+class VolatileDriver(DurabilityDriver):
+    """Shared DRAM plumbing for the LOG and NONE drivers."""
+
+    def _volatile_manager(
+        self,
+        db: "Database",
+        last_cid: int = 0,
+        first_tid: int = 1,
+        wal: Optional[LogWriter] = None,
+    ) -> TransactionManager:
+        return TransactionManager(
+            VolatileTxnTable(self.config.txn_slots),
+            VolatileCidStore(last_cid),
+            VolatileTidAllocator(first_tid),
+            db._table_by_id,
+            wal=wal,
+        )
+
+    def _allocate_table(self, name: str, schema: Schema) -> Table:
+        table_id = self._next_table_id
+        self._next_table_id += 1
+        return Table.create(table_id, name, schema, self.backend)
+
+
+class NoneDriver(VolatileDriver):
+    """No durability: DRAM structures, data dies with the process."""
+
+    mode = DurabilityMode.NONE
+
+    def open(self, db: "Database") -> RecoveryReport:
+        self._db = db
+        self.backend = db.backend = VolatileBackend()
+        self._next_table_id = 1
+        db._manager = self._volatile_manager(db)
+        return RecoveryReport(mode="none")
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        return self._allocate_table(name, schema)
+
+
+class LogDriver(VolatileDriver):
+    """Classic durability: WAL with group commit plus checkpoints."""
+
+    mode = DurabilityMode.LOG
+
+    def __init__(self, path: str, config: EngineConfig):
+        super().__init__(path, config)
+        self._wal: Optional[LogWriter] = None
+
+    @property
+    def log_path(self) -> str:
+        return os.path.join(self.path, "wal.log")
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.path, "checkpoint.ckpt")
+
+    @property
+    def meta_path(self) -> str:
+        return os.path.join(self.path, "meta.json")
+
+    def open(self, db: "Database") -> RecoveryReport:
+        self._db = db
+        self.backend = db.backend = VolatileBackend()
+        tables, last_cid, next_table_id, _lsn, report = recover_log(
+            self.checkpoint_path, self.log_path, self.backend
+        )
+        for table in tables.values():
+            db._register(table, {})
+        self._next_table_id = next_table_id
+        self._wal = LogWriter(self.log_path, self.config.group_commit_size)
+        db._manager = self._volatile_manager(
+            db, last_cid=last_cid, first_tid=self._max_logged_tid() + 1, wal=self._wal
+        )
+        with PhaseTimer(report, "index_rebuild"):
+            self._rebuild_declared_indexes(db)
+        report.tables = len(db._tables_by_id)
+        return report
+
+    def _max_logged_tid(self) -> int:
+        """New tids must not collide with tids of transactions that are
+        still parsable in the log tail."""
+        from repro.wal.checkpoint import read_checkpoint
+        from repro.wal.reader import read_log
+
+        start = 0
+        if os.path.exists(self.checkpoint_path):
+            start = read_checkpoint(self.checkpoint_path).lsn
+        max_tid = 0
+        for record, _ in read_log(self.log_path, start):
+            max_tid = max(max_tid, getattr(record, "tid", 0))
+        return max_tid
+
+    def _rebuild_declared_indexes(self, db: "Database") -> None:
+        """Recreate the (volatile) indexes declared in meta.json."""
+        if not os.path.exists(self.meta_path):
+            return
+        with open(self.meta_path) as f:
+            meta = json.load(f)
+        for table_name, columns in meta.get("indexes", {}).items():
+            if table_name not in db._tables_by_name:
+                continue
+            for column in columns:
+                db._build_index(db.table(table_name), column, False)
+
+    def _save_meta(self) -> None:
+        db = self._db
+        meta = {
+            "indexes": {
+                db._tables_by_id[tid].name: sorted(cols)
+                for tid, cols in db._indexes.items()
+                if cols
+            }
+        }
+        tmp = self.meta_path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(meta, f)
+        os.replace(tmp, self.meta_path)
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        table = self._allocate_table(name, schema)
+        self._wal.log_create_table(table.table_id, name, schema.to_bytes())
+        return table
+
+    def on_index_created(self, table: Table) -> None:
+        self._save_meta()
+
+    def on_table_dropped(self, table: Table) -> None:
+        self._wal.log_drop_table(table.table_id)
+        self._save_meta()
+
+    def on_merge(self, table: Table) -> None:
+        if self.config.checkpoint_after_merge:
+            self.checkpoint()
+
+    def log_bulk_load(
+        self, table: Table, value_rows: Sequence[Sequence], cid: int
+    ) -> None:
+        tid = self._db._manager._tids.next()
+        for values in value_rows:
+            self._wal.log_insert(tid, table.table_id, values)
+        self._wal.log_commit(tid, cid)
+
+    def checkpoint(self) -> int:
+        db = self._db
+        if db._manager.active_count:
+            raise RuntimeError("cannot checkpoint with active transactions")
+        self._wal.sync()
+        data = CheckpointData(
+            last_cid=db._manager.last_cid,
+            lsn=self._wal.lsn,
+            next_table_id=self._next_table_id,
+            tables=[snapshot_table(t) for t in db._tables_by_id.values()],
+        )
+        return write_checkpoint(data, self.checkpoint_path)
+
+    def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
+
+    def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
+        if self._wal is not None:
+            self._wal.crash()
+
+    def extra_stats(self) -> dict:
+        return {
+            "wal": {
+                "records": self._wal.records_written,
+                "syncs": self._wal.syncs,
+                "bytes": self._wal.bytes_written,
+            }
+        }
+
+
+_DRIVERS = {
+    DurabilityMode.NVM: NvmDriver,
+    DurabilityMode.LOG: LogDriver,
+    DurabilityMode.NONE: NoneDriver,
+}
+
+
+def create_driver(path: str, config: EngineConfig) -> DurabilityDriver:
+    """Instantiate the driver for ``config.mode``."""
+    return _DRIVERS[config.mode](path, config)

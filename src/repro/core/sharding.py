@@ -1,0 +1,372 @@
+"""Hash-sharded engine: N independent shards, recovered in parallel.
+
+Following *Fast Failure Recovery for Main-Memory DBMSs on Multicores*
+(Wu et al., VLDB 2017), the durable state is partitioned so that both
+the write path and recovery parallelize across cores. A
+:class:`ShardedEngine` runs one full single-shard
+:class:`~repro.core.database.Database` per partition — each with its own
+durability driver (pmem pool or WAL + checkpoint files) under
+``path/shard-NNNN/`` — and hash-routes rows by their table's partition
+key (the first schema column unless overridden at ``create_table``).
+
+What this buys per durability mode:
+
+* **LOG** — recovery replays/loads each shard's O(data / shards) slice
+  concurrently, so restart time drops with the shard count (until cores
+  or the interpreter lock run out);
+* **NVM** — recovery was already O(in-flight transactions) per shard;
+  sharding keeps it flat while the *contrast* with log replay sharpens.
+
+Cross-shard semantics are deliberately modest: ``bulk_insert`` publishes
+one batch per shard under a single global commit id, per-shard batches
+commit atomically but the fan-out itself is not a distributed
+transaction (a crash mid-fan-out may land some shards' sub-batches and
+not others — each shard individually stays consistent and no shard ever
+loses a committed batch). Interactive multi-statement transactions stay
+shard-local: route with :meth:`ShardedEngine.shard_for`.
+
+The shard count is fixed when the directory is first created and
+recorded in ``shards.json``; ``shards=1`` gives the same behaviour as a
+plain ``Database`` (inside ``shard-0000/``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, Optional, Sequence, TypeVar
+
+from repro.core.config import EngineConfig
+from repro.core.database import Database, SchemaLike, _coerce_schema
+from repro.query.predicate import Predicate
+from repro.query.scan import ScanResult
+from repro.recovery.report import ShardedRecoveryReport
+
+_MANIFEST = "shards.json"
+
+T = TypeVar("T")
+
+
+def shard_dir(path: str, index: int) -> str:
+    """The on-disk directory of one shard."""
+    return os.path.join(path, f"shard-{index:04d}")
+
+
+def partition_of(value, nshards: int) -> int:
+    """Deterministic hash partition of one key value.
+
+    Stable across processes and restarts (unlike ``hash()``, which is
+    salted for strings), so a row always routes to the shard that
+    already holds it.
+    """
+    if nshards <= 1:
+        return 0
+    if value is None:
+        data = b"\x00"
+    elif isinstance(value, bool):
+        data = b"\x01" if value else b"\x02"
+    elif isinstance(value, int):
+        data = value.to_bytes(8, "little", signed=True)
+    elif isinstance(value, float):
+        data = struct.pack("<d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+    else:
+        raise TypeError(f"unhashable partition key type {type(value).__name__}")
+    return zlib.crc32(data) % nshards
+
+
+class ShardedResult:
+    """Concatenated scan results from every shard (same lazy API)."""
+
+    def __init__(self, results: Sequence[ScanResult]):
+        self._results = list(results)
+
+    def __len__(self) -> int:
+        return sum(len(r) for r in self._results)
+
+    @property
+    def count(self) -> int:
+        return len(self)
+
+    @property
+    def per_shard(self) -> list[ScanResult]:
+        return self._results
+
+    def column(self, name: str) -> list:
+        out: list = []
+        for result in self._results:
+            out.extend(result.column(name))
+        return out
+
+    def columns(self, names: Optional[Sequence[str]] = None) -> dict:
+        merged: dict = {}
+        for result in self._results:
+            for key, values in result.columns(names).items():
+                merged.setdefault(key, []).extend(values)
+        return merged
+
+    def rows(self, names: Optional[Sequence[str]] = None) -> list[dict]:
+        out: list[dict] = []
+        for result in self._results:
+            out.extend(result.rows(names))
+        return out
+
+
+class ShardedEngine:
+    """Facade over N hash-partitioned :class:`Database` shards."""
+
+    def __init__(self, path: str, config: Optional[EngineConfig] = None):
+        self.path = path
+        self.config = (config or EngineConfig()).validated()
+        self.mode = self.config.mode
+        os.makedirs(path, exist_ok=True)
+        manifest = self._load_or_create_manifest()
+        self.num_shards: int = manifest["shards"]
+        self._partition_keys: dict[str, str] = manifest["partition_keys"]
+        self._closed = False
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.num_shards, thread_name_prefix="shard"
+        )
+        shard_config = replace(self.config, shards=1)
+        start = time.perf_counter()
+        self.shards: list[Database] = self._fan_out(
+            lambda i: Database(shard_dir(path, i), shard_config),
+            range(self.num_shards),
+        )
+        wall = time.perf_counter() - start
+        self.last_recovery = ShardedRecoveryReport(
+            mode=self.mode.value,
+            shard_reports=[s.last_recovery for s in self.shards],
+            wall_seconds=wall,
+        )
+        # Global commit-id horizon: every cross-shard batch gets one cid
+        # above everything any shard has committed so far.
+        self._last_cid = max(s.last_cid for s in self.shards)
+
+    # ------------------------------------------------------------------
+    # Manifest
+    # ------------------------------------------------------------------
+
+    @property
+    def _manifest_path(self) -> str:
+        return os.path.join(self.path, _MANIFEST)
+
+    def _load_or_create_manifest(self) -> dict:
+        if os.path.exists(self._manifest_path):
+            with open(self._manifest_path) as f:
+                manifest = json.load(f)
+            existing = manifest["shards"]
+            if self.config.shards not in (1, existing):
+                raise ValueError(
+                    f"shard count is fixed at creation: {self.path} has "
+                    f"{existing} shards, config asks for {self.config.shards}"
+                )
+            manifest.setdefault("partition_keys", {})
+            return manifest
+        manifest = {"shards": self.config.shards, "partition_keys": {}}
+        self._save_manifest(manifest)
+        return manifest
+
+    def _save_manifest(self, manifest: Optional[dict] = None) -> None:
+        if manifest is None:
+            manifest = {
+                "shards": self.num_shards,
+                "partition_keys": self._partition_keys,
+            }
+        tmp = self._manifest_path + ".tmp"
+        with open(tmp, "w") as f:
+            json.dump(manifest, f)
+        os.replace(tmp, self._manifest_path)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+
+    def _fan_out(self, fn: Callable[..., T], items) -> list[T]:
+        """Apply ``fn`` to every item on the shard thread pool."""
+        if self.num_shards == 1:
+            return [fn(item) for item in items]
+        return list(self._executor.map(fn, items))
+
+    def partition_key(self, table_name: str) -> str:
+        """The column a table is hash-partitioned by."""
+        try:
+            return self._partition_keys[table_name]
+        except KeyError:
+            raise KeyError(f"no sharded table {table_name!r}") from None
+
+    def shard_index(self, table_name: str, key_value) -> int:
+        self.partition_key(table_name)  # validates the table exists
+        return partition_of(key_value, self.num_shards)
+
+    def shard_for(self, table_name: str, key_value) -> Database:
+        """The shard engine that owns ``key_value``'s rows.
+
+        Multi-statement transactions are shard-local — begin them on the
+        database this returns.
+        """
+        return self.shards[self.shard_index(table_name, key_value)]
+
+    # ------------------------------------------------------------------
+    # DDL (applied to every shard)
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: SchemaLike,
+        partition_key: Optional[str] = None,
+    ) -> None:
+        """Create the table on every shard; record its partition key."""
+        schema = _coerce_schema(schema)
+        key = partition_key if partition_key is not None else schema.names[0]
+        if key not in schema.names:
+            raise ValueError(
+                f"partition key {key!r} is not a column of {name!r}"
+            )
+        for shard in self.shards:
+            shard.create_table(name, schema)
+        self._partition_keys[name] = key
+        self._save_manifest()
+
+    def create_index(self, table_name: str, column: str) -> None:
+        for shard in self.shards:
+            shard.create_index(table_name, column)
+
+    def drop_table(self, name: str) -> None:
+        for shard in self.shards:
+            shard.drop_table(name)
+        self._partition_keys.pop(name, None)
+        self._save_manifest()
+
+    @property
+    def table_names(self) -> list[str]:
+        return self.shards[0].table_names
+
+    @property
+    def last_cid(self) -> int:
+        return self._last_cid
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+
+    def insert(self, table_name: str, row: dict) -> int:
+        """Autocommit single-row insert, routed by partition key."""
+        key = self.partition_key(table_name)
+        shard = self.shards[partition_of(row[key], self.num_shards)]
+        ref = shard.insert(table_name, row)
+        self._last_cid = max(self._last_cid, shard.last_cid)
+        return ref
+
+    def bulk_insert(self, table_name: str, rows: Sequence[dict]) -> int:
+        """Hash-partition a batch and load every shard's slice in parallel.
+
+        All slices commit under one global commit id; each slice is
+        atomic on its shard. Returns the commit id.
+        """
+        if not rows:
+            return self._last_cid
+        key = self.partition_key(table_name)
+        groups: dict[int, list[dict]] = {}
+        for row in rows:
+            groups.setdefault(partition_of(row[key], self.num_shards), []).append(row)
+        cid = self._last_cid + 1
+        self._fan_out(
+            lambda item: self.shards[item[0]].bulk_insert(
+                table_name, item[1], _cid=cid
+            ),
+            sorted(groups.items()),
+        )
+        self._last_cid = cid
+        return cid
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+
+    def query(
+        self, table_name: str, predicate: Optional[Predicate] = None
+    ) -> ShardedResult:
+        """Fan the scan out to every shard; merge lazily."""
+        return ShardedResult(
+            self._fan_out(
+                lambda shard: shard.query(table_name, predicate), self.shards
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def merge(self, table_name: str) -> None:
+        """Merge the table's delta into main on every shard (parallel)."""
+        self._fan_out(lambda shard: shard.merge(table_name), self.shards)
+
+    def checkpoint(self) -> int:
+        """LOG mode: checkpoint every shard; returns total bytes written."""
+        return sum(self._fan_out(lambda shard: shard.checkpoint(), self.shards))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Orderly shutdown of every shard."""
+        if self._closed:
+            return
+        for shard in self.shards:
+            shard.close()
+        self._executor.shutdown(wait=False)
+        self._closed = True
+
+    def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
+        """Simulate a power failure hitting every shard at once."""
+        if self._closed:
+            return
+        for index, shard in enumerate(self.shards):
+            shard.crash(
+                survivor_fraction=survivor_fraction,
+                seed=None if seed is None else seed + index,
+            )
+        self._executor.shutdown(wait=False)
+        self._closed = True
+
+    def restart(self, config: Optional[EngineConfig] = None) -> "ShardedEngine":
+        """Close (cleanly) and reopen; returns the new instance."""
+        self.close()
+        return ShardedEngine(self.path, config or self.config)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def verify(self) -> list[str]:
+        """Consistency-check every shard; prefix violations per shard."""
+        problems = []
+        for index, shard in enumerate(self.shards):
+            problems.extend(
+                f"shard-{index:04d}: {problem}" for problem in shard.verify()
+            )
+        return problems
+
+    def stats(self) -> dict:
+        per_shard = [shard.stats() for shard in self.shards]
+        return {
+            "mode": self.mode.value,
+            "shards": self.num_shards,
+            "last_cid": self._last_cid,
+            "commits": sum(s["commits"] for s in per_shard),
+            "aborts": sum(s["aborts"] for s in per_shard),
+            "conflicts": sum(s["conflicts"] for s in per_shard),
+            "per_shard": per_shard,
+        }
+
+    def logical_bytes(self) -> int:
+        return sum(shard.logical_bytes() for shard in self.shards)

@@ -93,12 +93,18 @@ class PMemPool:
         self._undo: dict[int, bytes] = {}
         self._closed = False
         self.stats = NvmStats(model=latency or LatencyModel())
-        if _creating:
-            self._add_extent()
-            self._format_header()
-        else:
-            self._attach_extents()
-            self._validate_header()
+        try:
+            if _creating:
+                self._add_extent()
+                self._format_header()
+            else:
+                self._attach_extents()
+                self._validate_header()
+        except Exception:
+            # A failed attach (corrupt header, truncated extent, ...)
+            # must not leak the mmap/file handles already opened.
+            self._release_maps()
+            raise
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -199,6 +205,10 @@ class PMemPool:
         if clean:
             self.write_u64(_OFF_CLEAN, 1)
             self.persist(_OFF_CLEAN, 8)
+        self._release_maps()
+        self._closed = True
+
+    def _release_maps(self) -> None:
         for m in self._maps:
             m.flush()
             m.close()
@@ -206,7 +216,6 @@ class PMemPool:
             f.close()
         self._maps = []
         self._files = []
-        self._closed = True
 
     def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
         """Simulate a power failure.

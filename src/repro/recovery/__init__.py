@@ -11,13 +11,14 @@ The two recovery paths embody the paper's comparison:
   and indexes. Work is O(dataset + log tail).
 """
 
-from repro.recovery.report import RecoveryReport
+from repro.recovery.report import RecoveryReport, ShardedRecoveryReport
 from repro.recovery.nvm_recovery import recover_nvm
 from repro.recovery.log_recovery import recover_log
 from repro.recovery.validator import validate_database
 
 __all__ = [
     "RecoveryReport",
+    "ShardedRecoveryReport",
     "recover_log",
     "recover_nvm",
     "validate_database",

@@ -40,6 +40,93 @@ class RecoveryReport:
         }
 
 
+@dataclass
+class ShardedRecoveryReport:
+    """Recovery timings for a multi-shard engine.
+
+    Shards recover concurrently, so the engine-level recovery time is
+    the *wall clock* of the parallel fan-out, while ``serial_seconds``
+    (the sum of per-shard totals) is what a one-thread recovery of the
+    same shards would have cost; their ratio is the parallel speedup.
+    """
+
+    mode: str
+    shard_reports: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_reports)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.wall_seconds
+
+    @property
+    def serial_seconds(self) -> float:
+        return sum(r.total_seconds for r in self.shard_reports)
+
+    @property
+    def parallel_speedup(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 1.0
+        return self.serial_seconds / self.wall_seconds
+
+    def _sum(self, attr: str) -> int:
+        return sum(getattr(r, attr) for r in self.shard_reports)
+
+    @property
+    def txns_rolled_back(self) -> int:
+        return self._sum("txns_rolled_back")
+
+    @property
+    def txns_rolled_forward(self) -> int:
+        return self._sum("txns_rolled_forward")
+
+    @property
+    def rows_recovered(self) -> int:
+        return self._sum("rows_recovered")
+
+    @property
+    def log_records_replayed(self) -> int:
+        return self._sum("log_records_replayed")
+
+    @property
+    def phases(self) -> list[tuple[str, float]]:
+        """Per-phase durations summed across shards (first-seen order)."""
+        totals: dict[str, float] = {}
+        for report in self.shard_reports:
+            for name, seconds in report.phases:
+                totals[name] = totals.get(name, 0.0) + seconds
+        return list(totals.items())
+
+    def phase_seconds(self, name: str) -> float:
+        return sum(seconds for phase, seconds in self.phases if phase == name)
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"{self.shards} shard(s), wall {self.wall_seconds:.4f}s "
+            f"(serial {self.serial_seconds:.4f}s)",
+            f"parallel speedup: {self.parallel_speedup:.2f}x",
+        ]
+        lines.extend(
+            f"shard-{i:04d}: {r.total_seconds:.4f}s "
+            f"({', '.join(f'{n}={s:.4f}s' for n, s in r.phases)})"
+            for i, r in enumerate(self.shard_reports)
+        )
+        return lines
+
+    def as_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "shards": self.shards,
+            "wall_seconds": self.wall_seconds,
+            "serial_seconds": self.serial_seconds,
+            "parallel_speedup": self.parallel_speedup,
+            "per_shard": [r.as_dict() for r in self.shard_reports],
+        }
+
+
 class PhaseTimer:
     """Context-manager helper appending a timed phase to a report."""
 

@@ -1,5 +1,7 @@
 """Edge cases of the engine facade that the main suites don't touch."""
 
+import os
+
 import pytest
 
 from repro.core.config import DurabilityMode, EngineConfig
@@ -128,6 +130,57 @@ class TestReopenSafety:
         assert db.last_recovery.log_records_replayed == 0
         assert db.table_names == []
         db.close()
+
+
+class TestResourceSafety:
+    """Leaked-handle and double-close regressions (driver refactor)."""
+
+    @staticmethod
+    def _open_fds() -> int:
+        return len(os.listdir("/proc/self/fd"))
+
+    def test_close_after_crash_does_not_mark_pool_clean(self, tmp_path):
+        path = str(tmp_path / "db")
+        cfg = make_config(DurabilityMode.NVM)
+        db = Database(path, cfg)
+        db.create_table("t", {"a": DataType.INT64})
+        db.bulk_insert("t", [{"a": i} for i in range(50)])
+        db.crash()
+        db.close()  # must be a no-op, not an orderly (clean) shutdown
+        extent0 = os.path.join(path, "pmem", "extent_0000.pm")
+        with open(extent0, "rb") as f:
+            f.seek(48)  # _OFF_CLEAN
+            assert int.from_bytes(f.read(8), "little") == 0
+        db2 = Database(path, cfg)
+        assert db2.query("t").count == 50
+        assert db2.verify() == []
+        db2.close()
+
+    def test_corrupt_pool_open_releases_all_handles(self, tmp_path):
+        path = str(tmp_path / "db")
+        db = Database(path, make_config(DurabilityMode.NVM))
+        db.create_table("t", {"a": DataType.INT64})
+        db.close()
+        extent0 = os.path.join(path, "pmem", "extent_0000.pm")
+        with open(extent0, "r+b") as f:
+            f.write(b"\xde\xad\xbe\xef\xde\xad\xbe\xef")  # smash the magic
+        before = self._open_fds()
+        for _ in range(5):
+            with pytest.raises(Exception, match="magic|corrupt"):
+                Database(path, make_config(DurabilityMode.NVM))
+        assert self._open_fds() == before
+
+    def test_missing_catalog_root_releases_pool(self, tmp_path):
+        from repro.nvm.pool import PMemPool
+
+        pool_dir = str(tmp_path / "db" / "pmem")
+        os.makedirs(pool_dir)
+        pool = PMemPool.create(pool_dir, extent_size=2 * 1024 * 1024)
+        pool.close()  # valid pool, but no catalog root was ever published
+        before = self._open_fds()
+        with pytest.raises(ValueError, match="no catalog root"):
+            Database(str(tmp_path / "db"), make_config(DurabilityMode.NVM))
+        assert self._open_fds() == before
 
 
 class TestMergeEdges:
