@@ -5,13 +5,16 @@ Usage::
     python -m repro.bench.run_all [--quick] [--only E1,E3] [--out report.md]
 
 Runs the same experiments as ``pytest benchmarks/ --benchmark-only``
-(E1–E9) in-process and prints/saves the result tables. ``--quick``
-shrinks sweeps by ~4x for a fast smoke run.
+(E1–E10) in-process and prints/saves the result tables. ``--quick``
+shrinks sweeps by ~4x for a fast smoke run. ``--json PATH`` dumps the
+raw table rows (for experiments that export them, e.g. E10) as JSON —
+the CI smoke step archives this as a benchmark artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import shutil
 import tempfile
 import time
@@ -295,6 +298,68 @@ def run_e9(quick: bool) -> str:
     )
 
 
+def run_e10(quick: bool) -> str:
+    from repro.storage.types import DataType
+
+    batch_sizes = [1, 64, 1024] if quick else [1, 64, 1024, 4096]
+    scalar_total = 256 if quick else 512
+    bulk_total = 2048 if quick else 8192
+    schema = {
+        "id": DataType.INT64,
+        "name": DataType.STRING,
+        "qty": DataType.INT64,
+        "score": DataType.FLOAT64,
+    }
+
+    def make_rows(n: int) -> list[dict]:
+        return [
+            {
+                "id": i,
+                "name": f"sku-{i % 64}",
+                "qty": i % 1000,
+                "score": i * 0.25,
+            }
+            for i in range(n)
+        ]
+
+    rates: dict[tuple[str, int], float] = {}
+    for tag, mode, overrides in [
+        ("none", DurabilityMode.NONE, {}),
+        ("log_sync", DurabilityMode.LOG, {"group_commit_size": 1}),
+        ("nvm", DurabilityMode.NVM, {}),
+    ]:
+        for batch in batch_sizes:
+            total = scalar_total if batch == 1 else bulk_total
+            path = tempfile.mkdtemp(prefix="e10-")
+            try:
+                db = Database(path, _config(mode, **overrides))
+                db.create_table("orders", schema)
+                rows = make_rows(total)
+                start = time.perf_counter()
+                if batch == 1:
+                    for row in rows:
+                        db.insert("orders", row)
+                else:
+                    for lo in range(0, total, batch):
+                        db.insert_many("orders", rows[lo : lo + batch])
+                rates[(tag, batch)] = total / (time.perf_counter() - start)
+                db.close()
+            finally:
+                shutil.rmtree(path, ignore_errors=True)
+
+    rows_out = []
+    for batch in batch_sizes:
+        record = {"batch": batch}
+        for tag in ("none", "log_sync", "nvm"):
+            record[f"{tag}_rows_s"] = rates[(tag, batch)]
+            record[f"{tag}_speedup"] = rates[(tag, batch)] / rates[(tag, 1)]
+        rows_out.append(record)
+    _JSON_ROWS["E10"] = rows_out
+    return format_table(
+        rows_out, title="E10: bulk insert throughput vs batch size"
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -304,7 +369,11 @@ EXPERIMENTS = {
     "E6": run_e6,
     "E7": run_e7,
     "E9": run_e9,
+    "E10": run_e10,
 }
+
+# Raw rows exported by runners that support --json (keyed by experiment).
+_JSON_ROWS: dict[str, list[dict]] = {}
 
 
 def main(argv=None) -> int:
@@ -314,7 +383,11 @@ def main(argv=None) -> int:
         "--only", default="", help="comma-separated experiment ids (e.g. E1,E3)"
     )
     parser.add_argument("--out", default="", help="also write the report here")
+    parser.add_argument(
+        "--json", default="", help="dump raw table rows as JSON here"
+    )
     args = parser.parse_args(argv)
+    _JSON_ROWS.clear()
 
     wanted = [e.strip().upper() for e in args.only.split(",") if e.strip()]
     sections = []
@@ -331,6 +404,10 @@ def main(argv=None) -> int:
         with open(args.out, "w") as f:
             f.write("\n\n".join(sections) + "\n")
         print(f"\nreport written to {args.out}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(_JSON_ROWS, f, indent=2)
+        print(f"raw rows written to {args.json}")
     return 0
 
 

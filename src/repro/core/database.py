@@ -34,8 +34,6 @@ from __future__ import annotations
 import os
 from typing import Optional, Sequence, Union
 
-import numpy as np
-
 from repro.core.config import DurabilityMode, EngineConfig
 from repro.core.durability import DurabilityDriver, create_driver
 from repro.index.table_index import TableIndex
@@ -83,6 +81,19 @@ class Transaction:
         ref = self._db._manager.insert_row(self.ctx, table, row)
         self._db._index_new_row(table, ref)
         return ref
+
+    def insert_many(self, table_name: str, rows: Sequence[dict]) -> list[int]:
+        """Insert many {column: value} rows as one vectorized batch.
+
+        The batch is dictionary-encoded column-wise, lands with one
+        coalesced NVM flush per touched chunk, and produces a single
+        WAL record. Returns the rowrefs in input order.
+        """
+        table = self._db.table(table_name)
+        value_rows = [table.schema.validate_row(row) for row in rows]
+        refs = self._db._manager.insert_many(self.ctx, table, value_rows)
+        self._db._index_new_rows(table, refs)
+        return refs
 
     def update(self, table_name: str, ref: int, changes: dict) -> int:
         """Update a row (insert-only MVCC); returns the new version's ref."""
@@ -247,6 +258,11 @@ class Database:
             col = table.schema.column_index(column)
             index.on_insert(table.delta.get_code(col, row), row)
 
+    def _index_new_rows(self, table: Table, refs: Sequence[int]) -> None:
+        if self._indexes.get(table.table_id):
+            for ref in refs:
+                self._index_new_row(table, ref)
+
     def _pick_index(
         self, table: Table, predicate: Optional[Predicate]
     ) -> Optional[TableIndex]:
@@ -279,6 +295,13 @@ class Database:
         txn.commit()
         return ref
 
+    def insert_many(self, table_name: str, rows: Sequence[dict]) -> list[int]:
+        """Autocommit batched insert (one transaction); returns rowrefs."""
+        txn = self.begin()
+        refs = txn.insert_many(table_name, rows)
+        txn.commit()
+        return refs
+
     def _maybe_auto_merge(self, table_ids) -> None:
         threshold = self.config.auto_merge_rows
         if not threshold or self._manager.active_count:
@@ -303,13 +326,9 @@ class Database:
             return self._manager.last_cid
         schema = table.schema
         value_rows = [schema.validate_row(row) for row in rows]
-        encoded = [table.delta.encode_row(values) for values in value_rows]
-        columns = [
-            np.fromiter(
-                (codes[ci] for codes in encoded), dtype=np.uint32, count=len(encoded)
-            )
-            for ci in range(len(schema))
-        ]
+        columns = table.delta.encode_columns(
+            [[values[ci] for values in value_rows] for ci in range(len(schema))]
+        )
         cid = self._manager.last_cid + 1 if _cid is None else _cid
         self._driver.log_bulk_load(table, value_rows, cid)
         first = table.delta.bulk_load(columns, begin_cid=cid)

@@ -362,8 +362,11 @@ class LogDriver(VolatileDriver):
         self, table: Table, value_rows: Sequence[Sequence], cid: int
     ) -> None:
         tid = self._db._manager._tids.next()
-        for values in value_rows:
-            self._wal.log_insert(tid, table.table_id, values)
+        # One batched record for the whole load instead of a framed
+        # InsertRecord per row.
+        self._wal.log_insert_many(
+            tid, table.table_id, list(zip(*value_rows))
+        )
         self._wal.log_commit(tid, cid)
 
     def checkpoint(self) -> int:

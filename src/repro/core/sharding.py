@@ -34,12 +34,13 @@ from __future__ import annotations
 
 import json
 import os
-import struct
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Callable, Optional, Sequence, TypeVar
+
+import numpy as np
 
 from repro.core.config import EngineConfig
 from repro.core.database import Database, SchemaLike, _coerce_schema
@@ -57,12 +58,22 @@ def shard_dir(path: str, index: int) -> str:
     return os.path.join(path, f"shard-{index:04d}")
 
 
+def _mix_u64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finalizer over a uint64 array (vectorized, wraps mod 2^64)."""
+    x = x + np.uint64(0x9E3779B97F4A7C15)
+    x = (x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    x = (x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return x ^ (x >> np.uint64(31))
+
+
 def partition_of(value, nshards: int) -> int:
     """Deterministic hash partition of one key value.
 
     Stable across processes and restarts (unlike ``hash()``, which is
     salted for strings), so a row always routes to the shard that
-    already holds it.
+    already holds it. Numeric keys hash through the same SplitMix64 mix
+    as the vectorized :func:`partition_array`, so the scalar and batch
+    routes can never disagree.
     """
     if nshards <= 1:
         return 0
@@ -71,14 +82,37 @@ def partition_of(value, nshards: int) -> int:
     elif isinstance(value, bool):
         data = b"\x01" if value else b"\x02"
     elif isinstance(value, int):
-        data = value.to_bytes(8, "little", signed=True)
+        bits = np.asarray([value], dtype=np.int64).view(np.uint64)
+        return int(_mix_u64(bits)[0] % np.uint64(nshards))
     elif isinstance(value, float):
-        data = struct.pack("<d", value)
+        bits = np.asarray([value], dtype=np.float64).view(np.uint64)
+        return int(_mix_u64(bits)[0] % np.uint64(nshards))
     elif isinstance(value, str):
         data = value.encode("utf-8")
     else:
         raise TypeError(f"unhashable partition key type {type(value).__name__}")
     return zlib.crc32(data) % nshards
+
+
+def partition_array(values: Sequence, nshards: int) -> np.ndarray:
+    """Vectorized :func:`partition_of` over a whole batch of key values.
+
+    Homogeneous int/float batches are hashed with one numpy SplitMix64
+    pass; anything else (strings, NULLs, mixed) falls back to the
+    scalar path per row. Returns an int64 shard-index array.
+    """
+    n = len(values)
+    if nshards <= 1:
+        return np.zeros(n, dtype=np.int64)
+    if all(type(v) is int for v in values):
+        bits = np.asarray(values, dtype=np.int64).view(np.uint64)
+    elif all(type(v) is float for v in values):
+        bits = np.asarray(values, dtype=np.float64).view(np.uint64)
+    else:
+        return np.fromiter(
+            (partition_of(v, nshards) for v in values), dtype=np.int64, count=n
+        )
+    return (_mix_u64(bits) % np.uint64(nshards)).astype(np.int64)
 
 
 class ShardedResult:
@@ -265,6 +299,40 @@ class ShardedEngine:
         self._last_cid = max(self._last_cid, shard.last_cid)
         return ref
 
+    def _partition_rows(
+        self, table_name: str, rows: Sequence[dict]
+    ) -> list[tuple[int, list[dict]]]:
+        """Split a batch into (shard, sub-batch) groups, numpy-hashed."""
+        key = self.partition_key(table_name)
+        parts = partition_array([row[key] for row in rows], self.num_shards)
+        groups = []
+        for sid in np.unique(parts).tolist():
+            picked = np.nonzero(parts == sid)[0].tolist()
+            groups.append((int(sid), [rows[i] for i in picked]))
+        return groups
+
+    def insert_many(self, table_name: str, rows: Sequence[dict]) -> int:
+        """Hash-partition a batch and run one transactional
+        ``insert_many`` per touched shard in parallel.
+
+        Each shard's sub-batch commits atomically on that shard (the
+        fan-out itself is not a distributed transaction, matching
+        ``bulk_insert``). Returns the number of rows inserted.
+        """
+        if not rows:
+            return 0
+        groups = self._partition_rows(table_name, rows)
+
+        def run(item: tuple[int, list[dict]]) -> int:
+            sid, sub = item
+            shard = self.shards[sid]
+            shard.insert_many(table_name, sub)
+            return shard.last_cid
+
+        cids = self._fan_out(run, groups)
+        self._last_cid = max(self._last_cid, *cids)
+        return len(rows)
+
     def bulk_insert(self, table_name: str, rows: Sequence[dict]) -> int:
         """Hash-partition a batch and load every shard's slice in parallel.
 
@@ -273,16 +341,13 @@ class ShardedEngine:
         """
         if not rows:
             return self._last_cid
-        key = self.partition_key(table_name)
-        groups: dict[int, list[dict]] = {}
-        for row in rows:
-            groups.setdefault(partition_of(row[key], self.num_shards), []).append(row)
+        groups = self._partition_rows(table_name, rows)
         cid = self._last_cid + 1
         self._fan_out(
             lambda item: self.shards[item[0]].bulk_insert(
                 table_name, item[1], _cid=cid
             ),
-            sorted(groups.items()),
+            groups,
         )
         self._last_cid = cid
         return cid

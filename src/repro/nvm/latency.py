@@ -65,6 +65,7 @@ class NvmStats:
     drain_calls: int = 0
     allocations: int = 0
     allocated_bytes: int = 0
+    views_created: int = 0
     model: LatencyModel = field(default_factory=LatencyModel)
 
     def modelled_ns(self) -> float:
@@ -95,6 +96,7 @@ class NvmStats:
         self.drain_calls = 0
         self.allocations = 0
         self.allocated_bytes = 0
+        self.views_created = 0
 
     def snapshot(self) -> dict:
         """Return counters as a plain dict (for reports)."""
@@ -106,6 +108,7 @@ class NvmStats:
             "drain_calls": self.drain_calls,
             "allocations": self.allocations,
             "allocated_bytes": self.allocated_bytes,
+            "views_created": self.views_created,
             "modelled_ns": self.modelled_ns(),
         }
 

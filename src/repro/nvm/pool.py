@@ -211,7 +211,13 @@ class PMemPool:
     def _release_maps(self) -> None:
         for m in self._maps:
             m.flush()
-            m.close()
+            try:
+                m.close()
+            except BufferError:
+                # Numpy views handed out by ``view`` still export the
+                # mmap's buffer. The data is already flushed; the OS
+                # releases the mapping once the last view is collected.
+                pass
         for f in self._files:
             f.close()
         self._maps = []
@@ -357,20 +363,31 @@ class PMemPool:
         data = self.read(offset, dtype.itemsize * count)
         return np.frombuffer(data, dtype=dtype).copy()
 
-    def view(self, offset: int, dtype: np.dtype, count: int) -> np.ndarray:
+    def view(
+        self, offset: int, dtype: np.dtype, count: int, charge: bool = True
+    ) -> np.ndarray:
         """Zero-copy, read-only numpy view over pool memory.
 
         Views stay valid for the life of the pool because extents are
-        never remapped. Accounting charges the full extent of the view as
-        read traffic once, at creation.
+        never remapped. With ``charge=True`` the full extent of the view
+        is charged as read traffic once, at creation; callers that cache
+        views (e.g. :class:`~repro.nvm.pvector.PVector`) pass
+        ``charge=False`` and account incrementally via
+        :meth:`charge_read` instead.
         """
         dtype = np.dtype(dtype)
         length = dtype.itemsize * count
         m, local = self._locate(offset, length)
-        self.stats.bytes_read += length
+        self.stats.views_created += 1
+        if charge:
+            self.stats.bytes_read += length
         arr = np.frombuffer(memoryview(m), dtype=dtype, count=count, offset=local)
         arr.flags.writeable = False
         return arr
+
+    def charge_read(self, nbytes: int) -> None:
+        """Account ``nbytes`` of modelled read traffic (no data moved)."""
+        self.stats.bytes_read += nbytes
 
     # ------------------------------------------------------------------
     # Persistence primitives

@@ -81,6 +81,14 @@ class PVector:
             pool.read_u64(self._dir_offset + 8 + 8 * i)
             for i in range(self._num_chunks)
         ]
+        # Zero-copy chunk views are cached for the life of the handle:
+        # chunk offsets never move (directory growth copies slots, not
+        # chunks), so a view created once stays valid. Read accounting
+        # is charged incrementally as the published prefix of each chunk
+        # grows (see ``_chunk_view``), so repeated bulk reads of the same
+        # data do not inflate modelled read traffic.
+        self._chunk_views: dict[int, np.ndarray] = {}
+        self._charged_elems: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -208,6 +216,8 @@ class PVector:
         """
         values = np.ascontiguousarray(values, dtype=self._dtype)
         first = self._size
+        if values.size == 0:
+            return first
         cursor = first
         remaining = values
         pool = self._pool
@@ -239,6 +249,38 @@ class PVector:
         if persist:
             self._pool.persist(off, self._itemsize)
 
+    def set_range(
+        self, start: int, values: np.ndarray, persist: bool = True
+    ) -> None:
+        """Overwrite a contiguous range of already-published elements.
+
+        Writes are coalesced per touched chunk — one flush per chunk
+        part and a single drain — instead of one persist per element.
+        """
+        values = np.ascontiguousarray(values, dtype=self._dtype)
+        if start + values.size > self._size:
+            raise IndexError(
+                f"set_range([{start}, {start + values.size})) beyond "
+                f"size {self._size}"
+            )
+        if values.size == 0:
+            return
+        pool = self._pool
+        cursor = start
+        remaining = values
+        while remaining.size > 0:
+            slot = cursor % self._chunk_cap
+            room = self._chunk_cap - slot
+            part = remaining[:room]
+            off = self._chunks[cursor // self._chunk_cap] + slot * self._itemsize
+            pool.write_array(off, part)
+            if persist:
+                pool.flush(off, part.nbytes)
+            cursor += int(part.size)
+            remaining = remaining[room:]
+        if persist:
+            pool.drain()
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------
@@ -254,14 +296,36 @@ class PVector:
     def __getitem__(self, index: int):
         return self.get(index)
 
+    def _chunk_view(self, chunk_index: int, count: int) -> np.ndarray:
+        """Read-only view of the first ``count`` elements of a chunk.
+
+        The full-capacity view is created once per chunk and sliced;
+        modelled read traffic is charged only for prefix growth since
+        the last call, so re-reading published data costs nothing.
+        """
+        base = self._chunk_views.get(chunk_index)
+        if base is None:
+            base = self._pool.view(
+                self._chunks[chunk_index],
+                self._dtype,
+                self._chunk_cap,
+                charge=False,
+            )
+            self._chunk_views[chunk_index] = base
+        charged = self._charged_elems.get(chunk_index, 0)
+        if count > charged:
+            self._pool.charge_read((count - charged) * self._itemsize)
+            self._charged_elems[chunk_index] = count
+        return base[:count]
+
     def iter_views(self) -> Iterator[np.ndarray]:
         """Yield read-only numpy views over the committed chunks."""
         remaining = self._size
-        for chunk_off in self._chunks:
+        for chunk_index in range(len(self._chunks)):
             if remaining <= 0:
                 return
             count = min(self._chunk_cap, remaining)
-            yield self._pool.view(chunk_off, self._dtype, count)
+            yield self._chunk_view(chunk_index, count)
             remaining -= count
 
     def to_numpy(self) -> np.ndarray:

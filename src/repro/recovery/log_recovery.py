@@ -19,7 +19,12 @@ from repro.recovery.report import PhaseTimer, RecoveryReport
 from repro.storage.backend import VolatileBackend
 from repro.storage.table import Table
 from repro.txn.manager import apply_operations, rollback_operations
-from repro.txn.txn_table import OP_INSERT, OP_INVALIDATE
+from repro.txn.txn_table import (
+    OP_INSERT,
+    OP_INSERT_MANY,
+    OP_INVALIDATE,
+    pack_range_ref,
+)
 from repro.wal.checkpoint import read_checkpoint, restore_table
 from repro.wal.reader import read_log
 from repro.wal.records import (
@@ -27,6 +32,7 @@ from repro.wal.records import (
     CommitRecord,
     CreateTableRecord,
     DropTableRecord,
+    InsertManyRecord,
     InsertRecord,
     InvalidateRecord,
 )
@@ -76,6 +82,20 @@ def recover_log(
                 ref = table.insert_uncommitted(list(record.values), record.tid)
                 in_flight.setdefault(record.tid, []).append(
                     (OP_INSERT, record.table_id, ref)
+                )
+            elif isinstance(record, InsertManyRecord):
+                table = tables[record.table_id]
+                first = table.delta.row_count
+                encoded = table.delta.encode_columns(
+                    [list(col) for col in record.columns]
+                )
+                table.delta.insert_rows_encoded(encoded, record.tid)
+                in_flight.setdefault(record.tid, []).append(
+                    (
+                        OP_INSERT_MANY,
+                        record.table_id,
+                        pack_range_ref(first, record.row_count),
+                    )
                 )
             elif isinstance(record, InvalidateRecord):
                 in_flight.setdefault(record.tid, []).append(

@@ -36,6 +36,22 @@ def _append_or_overwrite(vector: VectorLike, index: int, value) -> None:
         vector.set(index, value)
 
 
+def _extend_or_overwrite(
+    vector: VectorLike, index: int, values: np.ndarray
+) -> None:
+    """Batch form of :func:`_append_or_overwrite`.
+
+    Crash leftovers below the vector's length are overwritten in place;
+    the remainder is appended with one coalesced ``extend``.
+    """
+    overlap = len(vector) - index
+    if overlap > 0:
+        vector.set_range(index, values[:overlap])
+        values = values[overlap:]
+    if len(values):
+        vector.extend(values)
+
+
 class DeltaPartition:
     """Append-only, dictionary-encoded delta store for one table."""
 
@@ -107,6 +123,57 @@ class DeltaPartition:
         """Encode and insert one row as uncommitted."""
         return self.insert_encoded(self.encode_row(values), tid)
 
+    def encode_columns(self, columns: Sequence[Sequence[Value]]) -> list:
+        """Bulk dictionary-encode column-major values.
+
+        Each column is encoded with one :meth:`UnsortedDictionary.
+        codes_for_insert` pass over its non-null values; NULLs are
+        scattered back as :data:`NULL_CODE`. Returns one uint32 code
+        array per column.
+        """
+        encoded = []
+        for dictionary, column in zip(self.dictionaries, columns):
+            n = len(column)
+            codes = np.full(n, NULL_CODE, dtype=_CODE_DTYPE)
+            present = [i for i, v in enumerate(column) if v is not None]
+            if present:
+                values = [column[i] for i in present]
+                codes[np.asarray(present, dtype=np.intp)] = (
+                    dictionary.codes_for_insert(values).astype(_CODE_DTYPE)
+                )
+            encoded.append(codes)
+        return encoded
+
+    def insert_rows_encoded(
+        self, encoded_columns: Sequence[np.ndarray], tid: int
+    ) -> int:
+        """Insert a pre-encoded batch as uncommitted; returns first index.
+
+        The single-row publish protocol extends to the whole batch: code
+        vectors and end/tid columns are written first (one coalesced
+        extend each, overwriting any crash-torn tails), and the begin
+        vector extend publishes every row of the batch atomically last.
+        A crash before that final publish loses the entire batch.
+        """
+        counts = {len(col) for col in encoded_columns}
+        if len(counts) != 1:
+            raise ValueError("ragged batch insert")
+        (n,) = counts
+        first = self.row_count
+        for vector, codes in zip(self.code_vectors, encoded_columns):
+            _extend_or_overwrite(
+                vector, first, np.asarray(codes, dtype=_CODE_DTYPE)
+            )
+        _extend_or_overwrite(
+            self.mvcc.end, first, np.full(n, INFINITY_CID, dtype=np.uint64)
+        )
+        _extend_or_overwrite(
+            self.mvcc.tid, first, np.full(n, tid, dtype=np.uint64)
+        )
+        # Publish point: the batch becomes real in one extend.
+        self.mvcc.begin.extend(np.full(n, INFINITY_CID, dtype=np.uint64))
+        return first
+
     def bulk_load(
         self,
         encoded_columns: list[np.ndarray],
@@ -145,17 +212,31 @@ class DeltaPartition:
         return self.dictionaries[col].value_of(code)
 
     def column_codes(self, col: int) -> np.ndarray:
-        """Codes of all published rows in column ``col`` (uint32 copy)."""
-        arr = self.code_vectors[col].to_numpy()
-        return arr[: self.row_count]
+        """Codes of all published rows in column ``col`` (read-only).
+
+        Reads through the vector's chunk views rather than a full
+        ``to_numpy`` copy: a single-chunk column comes back zero-copy,
+        and re-reads are not re-charged as modelled NVM read traffic.
+        """
+        count = self.row_count
+        if count == 0:
+            return np.empty(0, dtype=_CODE_DTYPE)
+        parts = []
+        remaining = count
+        for view in self.code_vectors[col].iter_views():
+            if remaining <= 0:
+                break
+            part = view[:remaining]
+            parts.append(part)
+            remaining -= len(part)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
 
     def decode_column(self, col: int, rows: Optional[np.ndarray] = None) -> list:
         """Materialise values for ``rows`` (default: all published rows)."""
         codes = self.column_codes(col)
         if rows is not None:
             codes = codes[rows]
-        dictionary = self.dictionaries[col]
-        return [
-            None if code == NULL_CODE else dictionary.value_of(int(code))
-            for code in codes
-        ]
+        null_mask = codes == np.uint32(NULL_CODE)
+        return self.dictionaries[col].decode_batch(codes, null_mask)

@@ -68,6 +68,11 @@ class UnsortedDictionary:
         self.values = values
         self.persistent_lookup = persistent_lookup
         self._lookup: Optional[dict] = None
+        # Decode accelerators for the vectorized read path: python
+        # values in code order, grown incrementally, plus a numpy
+        # mirror (int64/float64/object) rebuilt only after growth.
+        self._decode_values: list = []
+        self._decode_arr: Optional[np.ndarray] = None
 
     @classmethod
     def create(
@@ -169,6 +174,45 @@ class UnsortedDictionary:
             return [int(v) for v in raw]
         return [float(v) for v in raw]
 
+    def _decode_table(self) -> list:
+        """Values in code order, cached and grown incrementally."""
+        total = len(self.values)
+        cached = len(self._decode_values)
+        if cached < total:
+            for code in range(cached, total):
+                self._decode_values.append(self.value_of(code))
+            self._decode_arr = None
+        return self._decode_values
+
+    def decode_batch(self, codes: np.ndarray, null_mask: np.ndarray) -> list:
+        """Vectorized decode: code array + NULL mask -> python values.
+
+        One ``np.take`` over a materialized values array replaces the
+        per-code loop; NULL positions are patched afterwards.
+        """
+        table = self._decode_table()
+        if not table:
+            # Only possible when every code is NULL.
+            return [None] * len(codes)
+        if self._decode_arr is None:
+            if self.dtype is DataType.STRING:
+                self._decode_arr = np.asarray(table, dtype=object)
+            else:
+                self._decode_arr = np.asarray(
+                    table,
+                    dtype=(
+                        np.int64
+                        if self.dtype is DataType.INT64
+                        else np.float64
+                    ),
+                )
+        safe = np.where(null_mask, 0, codes).astype(np.int64, copy=False)
+        out = np.take(self._decode_arr, safe).tolist()
+        if null_mask.any():
+            for i in np.nonzero(null_mask)[0].tolist():
+                out[i] = None
+        return out
+
     # ------------------------------------------------------------------
     # Lookup / insert
     # ------------------------------------------------------------------
@@ -208,6 +252,67 @@ class UnsortedDictionary:
         if self.persistent_lookup is not None:
             self.persistent_lookup.insert(hash_key(self.dtype, value), code)
         return code
+
+    def codes_for_insert(self, values: Sequence) -> np.ndarray:
+        """Codes for a batch of non-null values, appending new ones.
+
+        A single ``np.unique`` pass replaces per-value probes: each
+        distinct value is looked up once, and all missing values are
+        appended with one vector ``extend`` — in first-occurrence order,
+        so the resulting dictionary is identical to what a loop of
+        :meth:`code_for_insert` would have produced.
+        """
+        n = len(values)
+        if n == 0:
+            return np.empty(0, dtype=np.uint64)
+        if self.dtype is DataType.STRING:
+            arr = np.asarray(values, dtype=object)
+        else:
+            arr = np.asarray(
+                values,
+                dtype=np.int64 if self.dtype is DataType.INT64 else np.float64,
+            )
+        uniques, first_pos, inverse = np.unique(
+            arr, return_index=True, return_inverse=True
+        )
+        if self.persistent_lookup is not None and self._lookup is None:
+            # Restart path: probe NVM per distinct value rather than
+            # forcing the O(delta-dict) volatile rebuild.
+            lookup = self.code_of
+        else:
+            self._ensure_lookup()
+            lookup = self._lookup.get
+        codes = np.empty(len(uniques), dtype=np.uint64)
+        missing: list[tuple[int, int, object]] = []
+        for i, value in enumerate(uniques.tolist()):
+            code = lookup(value)
+            if code is None:
+                missing.append((int(first_pos[i]), i, value))
+            else:
+                codes[i] = code
+        if missing:
+            missing.sort()  # np.unique sorts by value; restore insert order
+            base = len(self.values)
+            if self.dtype is DataType.STRING:
+                raws = np.fromiter(
+                    (self._backend.put_str(v) for _, _, v in missing),
+                    dtype=np.uint64,
+                    count=len(missing),
+                )
+            else:
+                raws = np.asarray(
+                    [v for _, _, v in missing], dtype=_STORAGE_DTYPE[self.dtype]
+                )
+            self.values.extend(raws)
+            for code, (_, i, value) in enumerate(missing, start=base):
+                codes[i] = code
+                if self._lookup is not None:
+                    self._lookup[value] = code
+                if self.persistent_lookup is not None:
+                    self.persistent_lookup.insert(
+                        hash_key(self.dtype, value), code
+                    )
+        return codes[inverse.reshape(-1)]
 
 
 class SortedDictionary:
@@ -281,11 +386,9 @@ class SortedDictionary:
         """Decode an array of codes to values (projection materialise)."""
         cache = self._materialise()
         if self.dtype is DataType.STRING:
-            return [cache[c] for c in codes]
-        picked = np.asarray(cache)[codes]
-        if self.dtype is DataType.INT64:
-            return [int(v) for v in picked]
-        return [float(v) for v in picked]
+            return np.take(np.asarray(cache, dtype=object), codes).tolist()
+        # ``tolist`` yields python ints/floats, matching the scalar path.
+        return np.take(cache, codes).tolist()
 
     # ------------------------------------------------------------------
     # Order-aware lookups (power the code-space predicates)

@@ -141,11 +141,14 @@ class MainPartition:
         dictionary = column.dictionary
         if len(dictionary) == 0:
             return [None] * len(codes)
-        values = dictionary.decode(np.where(codes == null_code, 0, codes))
-        return [
-            None if code == null_code else value
-            for code, value in zip(codes, values)
-        ]
+        null_mask = codes == null_code
+        values = dictionary.decode(np.where(null_mask, 0, codes))
+        if null_mask.any():
+            # Patch only the NULL positions instead of re-zipping the
+            # whole column.
+            for i in np.nonzero(null_mask)[0].tolist():
+                values[i] = None
+        return values
 
     def compressed_bytes(self) -> int:
         """Total packed attribute-vector bytes across columns."""

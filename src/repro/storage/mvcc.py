@@ -75,6 +75,17 @@ class MvccColumns:
     def set_tid(self, row: int, tid: int, persist: bool = True) -> None:
         self.tid.set(row, tid, persist=persist)
 
+    def set_begin_range(self, first: int, count: int, cid: int) -> None:
+        """Set ``begin_cid`` for a contiguous row range (one store per
+        touched chunk instead of a per-row loop)."""
+        if count > 0:
+            self.begin.set_range(first, np.full(count, cid, dtype=np.uint64))
+
+    def set_tid_range(self, first: int, count: int, tid: int) -> None:
+        """Set ``tid`` for a contiguous row range, chunk-coalesced."""
+        if count > 0:
+            self.tid.set_range(first, np.full(count, tid, dtype=np.uint64))
+
     def get_begin(self, row: int) -> int:
         return int(self.begin.get(row))
 

@@ -2,8 +2,9 @@
 
 :class:`~repro.nvm.pvector.PVector` (persistent) and
 :class:`VolatileVector` (DRAM) expose the same surface —
-``append``/``extend``/``get``/``set``/``__len__``/``to_numpy``/
-``iter_views`` — so partition code is written once and runs on either.
+``append``/``extend``/``get``/``set``/``set_range``/``__len__``/
+``to_numpy``/``iter_views`` — so partition code is written once and
+runs on either.
 """
 
 from __future__ import annotations
@@ -24,6 +25,10 @@ class VectorLike(Protocol):
     def get(self, index: int): ...
 
     def set(self, index: int, value, persist: bool = True) -> None: ...
+
+    def set_range(
+        self, start: int, values: np.ndarray, persist: bool = True
+    ) -> None: ...
 
     def __len__(self) -> int: ...
 
@@ -96,6 +101,18 @@ class VolatileVector:
         if index >= self._size:
             raise IndexError(f"set({index}) beyond size {self._size}")
         self._buf[index] = value
+
+    def set_range(
+        self, start: int, values: np.ndarray, persist: bool = True
+    ) -> None:
+        """Overwrite a contiguous range below the current size."""
+        values = np.asarray(values, dtype=self._dtype)
+        if start + values.size > self._size:
+            raise IndexError(
+                f"set_range([{start}, {start + values.size})) beyond "
+                f"size {self._size}"
+            )
+        self._buf[start : start + values.size] = values
 
     def to_numpy(self) -> np.ndarray:
         """Copy of the live contents."""

@@ -30,6 +30,10 @@ class TransactionContext:
         self.state = TxnState.ACTIVE
         self.ops: list[tuple[int, int, int]] = []  # (kind, table_id, ref)
         self.own_inserted: dict[int, set[int]] = {}
+        # Batched own-writes: per table, [first_delta_index, count] ranges
+        # (adjacent batches coalesce), kept separate from the per-row set
+        # so a million-row batch costs two ints, not a million entries.
+        self.own_insert_ranges: dict[int, list[list[int]]] = {}
         self.own_invalidated: dict[int, set[int]] = {}
         self.cid: int | None = None
 
@@ -44,11 +48,27 @@ class TransactionContext:
     def note_insert(self, table_id: int, ref: int) -> None:
         self.own_inserted.setdefault(table_id, set()).add(ref)
 
+    def note_insert_range(self, table_id: int, first: int, count: int) -> None:
+        """Track a contiguous delta-row batch as our own insert."""
+        ranges = self.own_insert_ranges.setdefault(table_id, [])
+        if ranges and ranges[-1][0] + ranges[-1][1] == first:
+            ranges[-1][1] += count
+        else:
+            ranges.append([first, count])
+
     def note_invalidate(self, table_id: int, ref: int) -> None:
         self.own_invalidated.setdefault(table_id, set()).add(ref)
 
     def sees_own_insert(self, table_id: int, ref: int) -> bool:
-        return ref in self.own_inserted.get(table_id, ())
+        if ref in self.own_inserted.get(table_id, ()):
+            return True
+        is_delta, index = unpack_rowref(ref)
+        if not is_delta:
+            return False
+        return any(
+            first <= index < first + count
+            for first, count in self.own_insert_ranges.get(table_id, ())
+        )
 
     def sees_own_invalidation(self, table_id: int, ref: int) -> bool:
         return ref in self.own_invalidated.get(table_id, ())
@@ -72,6 +92,8 @@ class TransactionContext:
         for ref in self.own_inserted.get(table_id, ()):
             is_delta, index = unpack_rowref(ref)
             (delta_mask if is_delta else main_mask)[index] = True
+        for first, count in self.own_insert_ranges.get(table_id, ()):
+            delta_mask[first : first + count] = True
         for ref in self.own_invalidated.get(table_id, ()):
             is_delta, index = unpack_rowref(ref)
             (delta_mask if is_delta else main_mask)[index] = False

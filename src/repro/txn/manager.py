@@ -18,11 +18,17 @@ from __future__ import annotations
 from typing import Callable, Optional, Protocol, Sequence
 
 from repro.storage.mvcc import INFINITY_CID, NO_TID
-from repro.storage.table import Table, unpack_rowref
+from repro.storage.table import Table, pack_rowref, unpack_rowref
 from repro.storage.types import Value
 from repro.txn.context import TransactionContext, TxnState
 from repro.txn.errors import TransactionAborted, TransactionConflict
-from repro.txn.txn_table import OP_INSERT, OP_INVALIDATE
+from repro.txn.txn_table import (
+    OP_INSERT,
+    OP_INSERT_MANY,
+    OP_INVALIDATE,
+    pack_range_ref,
+    unpack_range_ref,
+)
 
 
 class CidStore(Protocol):
@@ -71,6 +77,10 @@ class WalHook(Protocol):
     """Interface the WAL module implements to observe transactions."""
 
     def log_insert(self, tid: int, table_id: int, values: Sequence[Value]) -> None: ...
+
+    def log_insert_many(
+        self, tid: int, table_id: int, columns: Sequence[Sequence[Value]]
+    ) -> None: ...
 
     def log_invalidate(self, tid: int, table_id: int, ref: int) -> None: ...
 
@@ -131,15 +141,48 @@ class TransactionManager:
     def insert(
         self, ctx: TransactionContext, table: Table, values: Sequence[Value]
     ) -> int:
-        """Insert one row (values in schema order); returns its rowref."""
+        """Insert one row (values in schema order); returns its rowref.
+
+        A thin wrapper over :meth:`insert_many`, so the scalar and batch
+        write paths can never diverge semantically.
+        """
+        return self.insert_many(ctx, table, [list(values)])[0]
+
+    def insert_many(
+        self,
+        ctx: TransactionContext,
+        table: Table,
+        rows: Sequence[Sequence[Value]],
+    ) -> list[int]:
+        """Insert a batch of rows (values in schema order); returns rowrefs.
+
+        The vectorized write path: columns are bulk dictionary-encoded,
+        appended with one coalesced extend per vector, and the whole
+        batch publishes atomically with the begin-vector extend. The
+        undo record is written *first* (like ``invalidate``): a crash
+        before the publish rolls back to a no-op, and a published batch
+        always has the record recovery needs to clear its row locks.
+        One batched WAL record replaces per-row framing.
+        """
         self._require_active(ctx)
-        ref = table.insert_uncommitted(values, ctx.tid)
-        self._txn_table.record(ctx.slot, OP_INSERT, table.table_id, ref)
+        if not rows:
+            return []
+        n = len(rows)
+        first = table.delta.row_count
+        range_ref = pack_range_ref(first, n)
+        self._txn_table.record(
+            ctx.slot, OP_INSERT_MANY, table.table_id, range_ref
+        )
+        columns = [
+            [row[c] for row in rows] for c in range(len(table.schema))
+        ]
+        encoded = table.delta.encode_columns(columns)
+        table.delta.insert_rows_encoded(encoded, ctx.tid)
         if self._wal is not None:
-            self._wal.log_insert(ctx.tid, table.table_id, values)
-        ctx.ops.append((OP_INSERT, table.table_id, ref))
-        ctx.note_insert(table.table_id, ref)
-        return ref
+            self._wal.log_insert_many(ctx.tid, table.table_id, columns)
+        ctx.ops.append((OP_INSERT_MANY, table.table_id, range_ref))
+        ctx.note_insert_range(table.table_id, first, n)
+        return [pack_rowref(True, first + i) for i in range(n)]
 
     def insert_row(self, ctx: TransactionContext, table: Table, row: dict) -> int:
         """Insert one {column: value} row."""
@@ -241,6 +284,16 @@ def apply_operations(
     """Write commit ids into MVCC columns (idempotent — used by redo)."""
     for kind, table_id, ref in ops:
         table = table_lookup(table_id)
+        if kind == OP_INSERT_MANY:
+            first, count = unpack_range_ref(ref)
+            mvcc = table.delta.mvcc
+            # One chunk-coalesced store per MVCC vector instead of a
+            # per-row loop. Clamp defensively: the publish precedes the
+            # durable commit point, so normally count rows exist.
+            count = min(count, max(table.delta.row_count - first, 0))
+            mvcc.set_begin_range(first, count, cid)
+            mvcc.set_tid_range(first, count, NO_TID)
+            continue
         mvcc, index = table.mvcc_for(ref)
         if kind == OP_INSERT:
             mvcc.set_begin(index, cid)
@@ -261,6 +314,14 @@ def rollback_operations(
     """
     for kind, table_id, ref in ops:
         table = table_lookup(table_id)
+        if kind == OP_INSERT_MANY:
+            first, count = unpack_range_ref(ref)
+            # A crash before the batch published leaves row_count at (or
+            # below) ``first``; the clamped count is then zero and the
+            # whole torn batch vanishes as a no-op.
+            count = min(count, max(table.delta.row_count - first, 0))
+            table.delta.mvcc.set_tid_range(first, count, NO_TID)
+            continue
         is_delta, index = unpack_rowref(ref)
         part = table.delta if is_delta else table.main
         if index >= part.row_count:

@@ -36,6 +36,23 @@ SLOT_COMMITTING = 2
 
 OP_INSERT = 1
 OP_INVALIDATE = 2
+#: Batched delta insert; the record's rowref field packs (first, count).
+OP_INSERT_MANY = 3
+
+_RANGE_COUNT_BITS = 32
+_RANGE_COUNT_MASK = (1 << _RANGE_COUNT_BITS) - 1
+
+
+def pack_range_ref(first: int, count: int) -> int:
+    """Encode a contiguous delta row range into a u64 record field."""
+    if first >= 1 << 32 or count >= 1 << _RANGE_COUNT_BITS:
+        raise ValueError(f"range ({first}, {count}) too large to pack")
+    return (first << _RANGE_COUNT_BITS) | count
+
+
+def unpack_range_ref(ref: int) -> tuple[int, int]:
+    """Decode a packed row range: (first, count)."""
+    return ref >> _RANGE_COUNT_BITS, ref & _RANGE_COUNT_MASK
 
 _SLOT_BYTES = 64
 _S_STATE = 0

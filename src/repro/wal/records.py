@@ -17,6 +17,8 @@ import zlib
 from dataclasses import dataclass
 from typing import Sequence, Union
 
+import numpy as np
+
 from repro.storage.types import Value
 
 TYPE_INSERT = 1
@@ -25,6 +27,7 @@ TYPE_COMMIT = 3
 TYPE_ABORT = 4
 TYPE_CREATE_TABLE = 5
 TYPE_DROP_TABLE = 6
+TYPE_INSERT_MANY = 7
 
 _KIND_NULL = 0
 _KIND_INT = 1
@@ -37,6 +40,21 @@ class InsertRecord:
     tid: int
     table_id: int
     values: tuple
+
+
+@dataclass(frozen=True)
+class InsertManyRecord:
+    """One batched insert: ``columns`` holds per-column value tuples
+    (column-major), so numerics serialise as packed arrays with one
+    null bitmap per column instead of a kind byte per cell."""
+
+    tid: int
+    table_id: int
+    columns: tuple  # tuple[tuple[Value, ...], ...]
+
+    @property
+    def row_count(self) -> int:
+        return len(self.columns[0]) if self.columns else 0
 
 
 @dataclass(frozen=True)
@@ -71,6 +89,7 @@ class DropTableRecord:
 
 LogRecord = Union[
     InsertRecord,
+    InsertManyRecord,
     InvalidateRecord,
     CommitRecord,
     AbortRecord,
@@ -126,12 +145,91 @@ def _decode_values(payload: bytes, pos: int) -> tuple[tuple, int]:
     return tuple(values), pos
 
 
+def _encode_column(values: Sequence[Value], n: int) -> bytes:
+    """Serialise one column: null bitmap + kind byte + packed values."""
+    null_mask = np.fromiter((v is None for v in values), dtype=bool, count=n)
+    parts = [np.packbits(null_mask).tobytes()]
+    non_null = [v for v in values if v is not None]
+    if any(isinstance(v, bool) for v in non_null):
+        raise TypeError("bool values are not loggable")
+    if not non_null:
+        parts.append(struct.pack("<B", _KIND_NULL))
+    elif all(isinstance(v, int) for v in non_null):
+        parts.append(struct.pack("<B", _KIND_INT))
+        parts.append(np.asarray(non_null, dtype="<i8").tobytes())
+    elif all(isinstance(v, float) for v in non_null):
+        parts.append(struct.pack("<B", _KIND_FLOAT))
+        parts.append(np.asarray(non_null, dtype="<f8").tobytes())
+    elif all(isinstance(v, str) for v in non_null):
+        parts.append(struct.pack("<B", _KIND_STR))
+        for v in non_null:
+            raw = v.encode("utf-8")
+            parts.append(struct.pack("<I", len(raw)))
+            parts.append(raw)
+    else:
+        raise TypeError("mixed or unsupported value types in column")
+    return b"".join(parts)
+
+
+def _decode_column(payload: bytes, pos: int, n: int) -> tuple[tuple, int]:
+    bitmap_bytes = (n + 7) // 8
+    null_mask = np.unpackbits(
+        np.frombuffer(payload, dtype=np.uint8, count=bitmap_bytes, offset=pos),
+        count=n,
+    ).astype(bool)
+    pos += bitmap_bytes
+    (kind,) = struct.unpack_from("<B", payload, pos)
+    pos += 1
+    out: list = [None] * n
+    present = np.nonzero(~null_mask)[0].tolist()
+    k = len(present)
+    if kind == _KIND_NULL:
+        if k:
+            raise ValueError("null column kind with non-null rows")
+        return tuple(out), pos
+    if kind == _KIND_INT:
+        vals = np.frombuffer(payload, dtype="<i8", count=k, offset=pos).tolist()
+        pos += 8 * k
+    elif kind == _KIND_FLOAT:
+        vals = np.frombuffer(payload, dtype="<f8", count=k, offset=pos).tolist()
+        pos += 8 * k
+    elif kind == _KIND_STR:
+        vals = []
+        for _ in range(k):
+            (length,) = struct.unpack_from("<I", payload, pos)
+            pos += 4
+            vals.append(payload[pos : pos + length].decode("utf-8"))
+            pos += length
+    else:
+        raise ValueError(f"bad column kind {kind}")
+    for i, v in zip(present, vals):
+        out[i] = v
+    return tuple(out), pos
+
+
 def _payload(record: LogRecord) -> bytes:
     if isinstance(record, InsertRecord):
         return (
             struct.pack("<BQQ", TYPE_INSERT, record.tid, record.table_id)
             + _encode_values(record.values)
         )
+    if isinstance(record, InsertManyRecord):
+        n = record.row_count
+        if any(len(col) != n for col in record.columns):
+            raise ValueError("ragged insert-many record")
+        parts = [
+            struct.pack(
+                "<BQQIH",
+                TYPE_INSERT_MANY,
+                record.tid,
+                record.table_id,
+                n,
+                len(record.columns),
+            )
+        ]
+        for col in record.columns:
+            parts.append(_encode_column(col, n))
+        return b"".join(parts)
     if isinstance(record, InvalidateRecord):
         return struct.pack(
             "<BQQQ", TYPE_INVALIDATE, record.tid, record.table_id, record.ref
@@ -166,6 +264,14 @@ def decode_payload(payload: bytes) -> LogRecord:
         tid, table_id = struct.unpack_from("<QQ", payload, 1)
         values, _ = _decode_values(payload, 17)
         return InsertRecord(tid, table_id, values)
+    if rtype == TYPE_INSERT_MANY:
+        tid, table_id, n, ncols = struct.unpack_from("<QQIH", payload, 1)
+        pos = 23
+        columns = []
+        for _ in range(ncols):
+            col, pos = _decode_column(payload, pos, n)
+            columns.append(col)
+        return InsertManyRecord(tid, table_id, tuple(columns))
     if rtype == TYPE_INVALIDATE:
         tid, table_id, ref = struct.unpack_from("<QQQ", payload, 1)
         return InvalidateRecord(tid, table_id, ref)

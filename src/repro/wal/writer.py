@@ -24,6 +24,7 @@ from repro.wal.records import (
     CommitRecord,
     CreateTableRecord,
     DropTableRecord,
+    InsertManyRecord,
     InsertRecord,
     InvalidateRecord,
     LogRecord,
@@ -75,6 +76,14 @@ class LogWriter:
 
     def log_insert(self, tid: int, table_id: int, values: Sequence[Value]) -> None:
         self._write(InsertRecord(tid, table_id, tuple(values)))
+
+    def log_insert_many(
+        self, tid: int, table_id: int, columns: Sequence[Sequence[Value]]
+    ) -> None:
+        """One framed record for a whole batch (column-major values)."""
+        self._write(
+            InsertManyRecord(tid, table_id, tuple(tuple(c) for c in columns))
+        )
 
     def log_invalidate(self, tid: int, table_id: int, ref: int) -> None:
         self._write(InvalidateRecord(tid, table_id, ref))
