@@ -331,8 +331,15 @@ class Database:
         )
         cid = self._manager.last_cid + 1 if _cid is None else _cid
         self._driver.log_bulk_load(table, value_rows, cid)
-        first = table.delta.bulk_load(columns, begin_cid=cid)
+        # The commit id must be durable *before* any row publishes with
+        # it: bulk loads bypass the transaction table, so no fix-up pass
+        # can repair a crash that lands between the begin-vector publish
+        # and the counter advance — recovery would resurrect rows
+        # stamped with a commit id the engine never issued
+        # (begin_cid > last_cid). Advancing first leaves at worst a
+        # harmless cid gap when the crash hits before the publish.
         self._manager._cids.advance(cid)
+        first = table.delta.bulk_load(columns, begin_cid=cid)
         indexes = self._indexes.get(table.table_id)
         if indexes:
             for column, index in indexes.items():

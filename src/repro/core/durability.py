@@ -287,12 +287,18 @@ class LogDriver(VolatileDriver):
     def open(self, db: "Database") -> RecoveryReport:
         self._db = db
         self.backend = db.backend = VolatileBackend()
-        tables, last_cid, next_table_id, _lsn, report = recover_log(
+        tables, last_cid, next_table_id, end_lsn, report = recover_log(
             self.checkpoint_path, self.log_path, self.backend
         )
         for table in tables.values():
             db._register(table, {})
         self._next_table_id = next_table_id
+        # A real power failure can leave garbage (or a half-written
+        # record) past the last valid frame. Drop that torn tail before
+        # reopening the log for append: records appended after garbage
+        # would be unreachable to every future replay, silently losing
+        # the transactions they describe.
+        self._drop_torn_tail(end_lsn)
         self._wal = LogWriter(self.log_path, self.config.group_commit_size)
         db._manager = self._volatile_manager(
             db, last_cid=last_cid, first_tid=self._max_logged_tid() + 1, wal=self._wal
@@ -301,6 +307,15 @@ class LogDriver(VolatileDriver):
             self._rebuild_declared_indexes(db)
         report.tables = len(db._tables_by_id)
         return report
+
+    def _drop_torn_tail(self, end_lsn: int) -> None:
+        """Truncate the log just past its last valid record."""
+        if (
+            os.path.exists(self.log_path)
+            and os.path.getsize(self.log_path) > end_lsn
+        ):
+            with open(self.log_path, "r+b") as f:
+                f.truncate(end_lsn)
 
     def _max_logged_tid(self) -> int:
         """New tids must not collide with tids of transactions that are
@@ -388,7 +403,14 @@ class LogDriver(VolatileDriver):
 
     def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
         if self._wal is not None:
-            self._wal.crash()
+            # ``survivor_fraction`` plays the same role as for the pmem
+            # pool: the share of not-yet-durable (un-fsynced) bytes the
+            # hardware happened to write back before power died. The
+            # tail is always left torn (garbage past the survivors), the
+            # adversarial case recovery must parse through.
+            self._wal.crash(
+                survivor_fraction=survivor_fraction, seed=seed, torn_tail=True
+            )
 
     def extra_stats(self) -> dict:
         return {

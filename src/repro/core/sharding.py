@@ -386,21 +386,29 @@ class ShardedEngine:
         """Orderly shutdown of every shard."""
         if self._closed:
             return
+        self._executor.shutdown(wait=True, cancel_futures=True)
         for shard in self.shards:
             shard.close()
-        self._executor.shutdown(wait=False)
         self._closed = True
 
     def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
-        """Simulate a power failure hitting every shard at once."""
+        """Simulate a power failure hitting every shard at once.
+
+        The fan-out executor is stopped *first* (pending tasks
+        cancelled, running ones joined): crashing the shards while a
+        ``bulk_insert``/``insert_many`` task is still writing would let
+        that task keep mutating — and, worse, making durable — shard
+        state *after* the simulated power failure, corrupting the very
+        crash state recovery is supposed to be tested against.
+        """
         if self._closed:
             return
+        self._executor.shutdown(wait=True, cancel_futures=True)
         for index, shard in enumerate(self.shards):
             shard.crash(
                 survivor_fraction=survivor_fraction,
                 seed=None if seed is None else seed + index,
             )
-        self._executor.shutdown(wait=False)
         self._closed = True
 
     def restart(self, config: Optional[EngineConfig] = None) -> "ShardedEngine":

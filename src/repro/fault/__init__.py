@@ -1,0 +1,45 @@
+"""Crash-point enumeration and exhaustive crash-sweep harness.
+
+ALICE-style fault injection for the simulated-NVM engine: enumerate
+every persistence-boundary event of a workload, kill the engine at each
+one, recover, and assert the durability contract held. See
+:mod:`repro.fault.sweep` for the driver and CLI.
+"""
+
+from repro.fault.inject import CrashPointInjector, SimulatedPowerFailure
+from repro.fault.workloads import (
+    SCHEMA,
+    TABLE,
+    WORKLOAD_NAMES,
+    Oracle,
+    Step,
+    SweepWorkload,
+    make_workload,
+)
+
+__all__ = [
+    "CrashPointInjector",
+    "CrashSweep",
+    "Oracle",
+    "PointResult",
+    "SCHEMA",
+    "SimulatedPowerFailure",
+    "Step",
+    "SweepSettings",
+    "SweepWorkload",
+    "TABLE",
+    "WORKLOAD_NAMES",
+    "make_workload",
+]
+
+_SWEEP_EXPORTS = ("CrashSweep", "PointResult", "SweepSettings")
+
+
+def __getattr__(name: str):
+    # Loaded lazily so `python -m repro.fault.sweep` does not import the
+    # module twice (once via the package, once via runpy).
+    if name in _SWEEP_EXPORTS:
+        from repro.fault import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

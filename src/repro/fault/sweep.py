@@ -1,0 +1,540 @@
+"""Exhaustive crash-point sweep: kill the engine at every persistence
+boundary, recover, and check the durability contract.
+
+For a deterministic workload the sweep first runs once in counting mode
+to enumerate the persistence-boundary events (the crash points), then
+re-runs it from scratch for each point k — or a seeded sample of them —
+killing the engine exactly when event k is attempted, simulating the
+power failure (``engine.crash``), recovering, and asserting:
+
+* ``verify()`` reports no MVCC/storage invariant violations;
+* every committed transaction's effects survived;
+* no aborted or in-flight transaction's effects are visible, except
+  that the single in-flight step may have landed *atomically* — for
+  sharded batch inserts, atomically per shard sub-batch (the fan-out is
+  not a distributed transaction);
+* maintenance actions (merge, checkpoint) changed nothing logical.
+
+CLI::
+
+    python -m repro.fault.sweep --workload ycsb --sample 200 --seed 7 \
+        --modes nvm,log,none --shards 1,4 --survivors 0.0,0.5,1.0 \
+        --out sweep-report.json
+
+exits non-zero if any swept point violated an invariant.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import shutil
+import sys
+import tempfile
+import time
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.core.sharding import ShardedEngine, partition_of
+from repro.fault.inject import CrashPointInjector, SimulatedPowerFailure
+from repro.fault.workloads import (
+    SCHEMA,
+    TABLE,
+    WORKLOAD_NAMES,
+    Oracle,
+    Step,
+    make_workload,
+)
+from repro.nvm.pool import PMemMode
+from repro.query.predicate import Eq
+
+Engine = Union[Database, ShardedEngine]
+
+#: Small extents keep per-point engine setup cheap (the default 64 MiB
+#: extent would dominate sweep runtime with file creation).
+SWEEP_EXTENT = 2 * 1024 * 1024
+
+
+@dataclass
+class SweepSettings:
+    workload: str = "ycsb"
+    mode: str = "nvm"
+    shards: int = 1
+    survivor_fraction: float = 0.0
+    sample: Optional[int] = None
+    seed: int = 7
+    extent_size: int = SWEEP_EXTENT
+
+
+@dataclass
+class PointResult:
+    point: int  # 0 for the counting run (crash after the last step)
+    fired: bool
+    kind: Optional[str]  # event kind the power failure interrupted
+    problems: list
+    recovery_seconds: float
+    recovery_phases: dict
+
+
+class CrashSweep:
+    """Drives the sweep for one (workload, mode, shards, survivor) cell."""
+
+    def __init__(self, root: str, settings: SweepSettings):
+        self.root = root
+        self.settings = settings
+        self.workload = make_workload(settings.workload, settings.seed)
+        self.mode = DurabilityMode(settings.mode)
+        os.makedirs(root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Engine plumbing
+    # ------------------------------------------------------------------
+
+    def _config(self) -> EngineConfig:
+        return EngineConfig(
+            mode=self.mode,
+            shards=self.settings.shards,
+            extent_size=self.settings.extent_size,
+            # STRICT pmem snapshots dirty cache lines so crash() can
+            # revert (or partially keep, per survivor_fraction) exactly
+            # the unflushed ones.
+            pmem_mode=(
+                PMemMode.STRICT if self.mode is DurabilityMode.NVM else PMemMode.FAST
+            ),
+            group_commit_size=1,  # sync commit: the contract being swept
+        )
+
+    def _open(self, path: str) -> Engine:
+        if self.settings.shards > 1:
+            return ShardedEngine(path, self._config())
+        return Database(path, self._config())
+
+    def _owner(self, engine: Engine, key: int) -> Database:
+        if isinstance(engine, ShardedEngine):
+            return engine.shard_for(TABLE, key)
+        return engine
+
+    def _setup(self, engine: Engine) -> None:
+        if isinstance(engine, ShardedEngine):
+            engine.create_table(TABLE, SCHEMA, partition_key="key")
+        else:
+            engine.create_table(TABLE, SCHEMA)
+        engine.bulk_insert(
+            TABLE, [{"key": k, "note": n} for k, n in self.workload.initial_rows]
+        )
+
+    def _runnable_steps(self) -> list[Step]:
+        # Checkpoints only exist in LOG mode; skipping them keeps point
+        # numbering consistent within a mode (counting and sweeping use
+        # the same filter).
+        return [
+            step
+            for step in self.workload.steps
+            if step.kind != "checkpoint" or self.mode is DurabilityMode.LOG
+        ]
+
+    def _execute(self, engine: Engine, step: Step) -> None:
+        if step.kind == "insert":
+            key, note = step.rows[0]
+            engine.insert(TABLE, {"key": key, "note": note})
+        elif step.kind == "insert_many":
+            engine.insert_many(
+                TABLE, [{"key": k, "note": n} for k, n in step.rows]
+            )
+        elif step.kind == "bulk":
+            engine.bulk_insert(
+                TABLE, [{"key": k, "note": n} for k, n in step.rows]
+            )
+        elif step.kind == "update":
+            # No abort-on-error handling on purpose: when the power
+            # fails mid-transaction the process is gone; recovery, not
+            # an except-block, must clean up.
+            db = self._owner(engine, step.key)
+            txn = db.begin()
+            ref = txn.query(TABLE, Eq("key", step.key)).refs()[0]
+            txn.update(TABLE, ref, {"note": step.note})
+            txn.commit()
+        elif step.kind == "delete":
+            db = self._owner(engine, step.key)
+            txn = db.begin()
+            ref = txn.query(TABLE, Eq("key", step.key)).refs()[0]
+            txn.delete(TABLE, ref)
+            txn.commit()
+        elif step.kind == "merge":
+            engine.merge(TABLE)
+        elif step.kind == "checkpoint":
+            engine.checkpoint()
+        else:
+            raise ValueError(f"unknown step kind {step.kind!r}")
+
+    # ------------------------------------------------------------------
+    # One crash point
+    # ------------------------------------------------------------------
+
+    def run_point(
+        self, point: Optional[int]
+    ) -> tuple[PointResult, CrashPointInjector]:
+        """Run the workload, crash at ``point`` (None = after the last
+        step, counting events), recover, validate, and clean up."""
+        label = "count" if point is None else f"pt{point:06d}"
+        path = os.path.join(self.root, label)
+        shutil.rmtree(path, ignore_errors=True)
+
+        engine = self._open(path)
+        self._setup(engine)  # not injected: the baseline must exist
+        oracle = Oracle(self.workload.baseline)
+        fired = False
+        injector = CrashPointInjector(crash_at=point)
+        with injector:
+            try:
+                for step in self._runnable_steps():
+                    oracle.begin_step(step)
+                    self._execute(engine, step)
+                    oracle.commit_step()
+            except SimulatedPowerFailure:
+                fired = True
+            # Cut the power while the injector is still armed: sharded
+            # fan-out workers that outlive the failing one keep hitting
+            # the open breaker instead of quietly persisting post-crash
+            # state in the uninstall window.
+            engine.crash(
+                survivor_fraction=self.settings.survivor_fraction,
+                seed=self.settings.seed * 100003 + (point or 0),
+            )
+
+        t0 = time.perf_counter()
+        recovered = self._open(path)
+        recovery_seconds = time.perf_counter() - t0
+        try:
+            problems = list(recovered.verify())
+            problems.extend(self._check_state(recovered, oracle))
+            phases: dict[str, float] = {}
+            report = recovered.last_recovery
+            if report is not None:
+                for name, seconds in report.phases:
+                    phases[name] = phases.get(name, 0.0) + seconds
+        finally:
+            recovered.close()
+            shutil.rmtree(path, ignore_errors=True)
+        return (
+            PointResult(
+                point=point or 0,
+                fired=fired,
+                kind=injector.fired_kind,
+                problems=problems,
+                recovery_seconds=recovery_seconds,
+                recovery_phases=phases,
+            ),
+            injector,
+        )
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+
+    def _found_rows(self, engine: Engine) -> tuple[dict, list[str]]:
+        try:
+            rows = engine.query(TABLE).rows()
+        except KeyError:
+            # The table itself did not survive — expected in NONE mode.
+            return {}, []
+        problems = []
+        found: dict = {}
+        for row in rows:
+            key = row["key"]
+            if key in found:
+                problems.append(
+                    f"key {key} visible twice after recovery "
+                    f"({found[key]!r} and {row['note']!r})"
+                )
+            found[key] = row["note"]
+        return found, problems
+
+    def _pending_groups(self, step: Optional[Step]) -> list[dict]:
+        """Atomicity groups of the in-flight step.
+
+        Sharded batch inserts fan out one sub-transaction per shard;
+        each sub-batch is atomic but the fan-out as a whole is not, so
+        any subset of per-shard groups may survive. Everything else is
+        a single shard-local transaction: one all-or-nothing group.
+        """
+        if step is None:
+            return []
+        effects = step.effects()
+        if not effects:
+            return []
+        if self.settings.shards > 1 and step.kind in ("insert_many", "bulk"):
+            groups: dict[int, dict] = {}
+            for key, note in effects.items():
+                shard = partition_of(key, self.settings.shards)
+                groups.setdefault(shard, {})[key] = note
+            return [groups[shard] for shard in sorted(groups)]
+        return [effects]
+
+    def _check_state(self, engine: Engine, oracle: Oracle) -> list[str]:
+        if self.mode is DurabilityMode.NONE:
+            # Nothing may survive a power failure without durability.
+            committed: dict = {}
+            groups: list[dict] = []
+        else:
+            committed = oracle.committed
+            groups = self._pending_groups(oracle.pending)
+        found, problems = self._found_rows(engine)
+
+        expected = dict(committed)
+        for index, group in enumerate(groups):
+            verdicts = set()
+            for key, new in group.items():
+                old = committed.get(key)
+                cur = found.get(key)
+                applied = (key not in found) if new is None else (cur == new)
+                untouched = (key not in found) if old is None else (cur == old)
+                if applied:
+                    verdicts.add("applied")
+                elif untouched:
+                    verdicts.add("untouched")
+                else:
+                    verdicts.add("corrupt")
+                    problems.append(
+                        f"key {key}: recovered value {cur!r} is neither the "
+                        f"pre-step ({old!r}) nor post-step ({new!r}) state"
+                    )
+            if "corrupt" in verdicts:
+                continue
+            if len(verdicts) > 1:
+                problems.append(
+                    f"atomicity violation: in-flight group {index} of "
+                    f"{oracle.pending.kind} applied partially "
+                    f"(keys {sorted(group)})"
+                )
+            elif verdicts == {"applied"}:
+                for key, new in group.items():
+                    if new is None:
+                        expected.pop(key, None)
+                    else:
+                        expected[key] = new
+
+        pending_keys = set()
+        for group in groups:
+            pending_keys |= set(group)
+        for key in sorted(set(expected) - set(found) - pending_keys):
+            problems.append(
+                f"committed row {key}={expected[key]!r} lost after recovery"
+            )
+        for key in sorted(set(found) - set(expected) - pending_keys):
+            problems.append(
+                f"phantom row {key}={found[key]!r} visible after recovery"
+            )
+        for key in sorted((set(found) & set(expected)) - pending_keys):
+            if found[key] != expected[key]:
+                problems.append(
+                    f"row {key}: expected {expected[key]!r}, "
+                    f"found {found[key]!r}"
+                )
+        return problems
+
+    # ------------------------------------------------------------------
+    # The sweep
+    # ------------------------------------------------------------------
+
+    def run(self) -> dict:
+        """Count the points, sweep all (or a sample), return the report."""
+        started = time.perf_counter()
+        count_result, counter = self.run_point(None)
+        total = counter.events
+
+        points = list(range(1, total + 1))
+        sampled = (
+            self.settings.sample is not None and self.settings.sample < total
+        )
+        if sampled:
+            rng = random.Random(self.settings.seed)
+            keep = set(rng.sample(points, self.settings.sample))
+            keep.update((1, total))  # always hit the edges
+            points = sorted(keep)
+
+        violations = []
+        if count_result.problems:
+            # The uninjected run must validate too — if it does not,
+            # every per-point verdict would be noise.
+            violations.append(
+                {"point": 0, "kind": None, "problems": count_result.problems}
+            )
+        not_fired = 0
+        crash_kinds: Counter = Counter()
+        recovery_times = [count_result.recovery_seconds]
+        phase_totals: dict[str, float] = {}
+        phase_peaks: dict[str, float] = {}
+
+        def fold_phases(result: PointResult) -> None:
+            for name, seconds in result.recovery_phases.items():
+                phase_totals[name] = phase_totals.get(name, 0.0) + seconds
+                phase_peaks[name] = max(phase_peaks.get(name, 0.0), seconds)
+
+        fold_phases(count_result)
+        for point in points:
+            result, _ = self.run_point(point)
+            if not result.fired:
+                not_fired += 1
+            if result.kind is not None:
+                crash_kinds[result.kind] += 1
+            if result.problems:
+                violations.append(
+                    {
+                        "point": point,
+                        "kind": result.kind,
+                        "problems": result.problems,
+                    }
+                )
+            recovery_times.append(result.recovery_seconds)
+            fold_phases(result)
+
+        runs = len(recovery_times)
+        return {
+            "workload": self.settings.workload,
+            "mode": self.settings.mode,
+            "shards": self.settings.shards,
+            "survivor_fraction": self.settings.survivor_fraction,
+            "seed": self.settings.seed,
+            "sampled": sampled,
+            "points_total": total,
+            "points_swept": len(points),
+            "points_not_fired": not_fired,
+            "events_by_kind": dict(counter.by_kind),
+            "crash_kinds_swept": dict(crash_kinds),
+            "violations": violations,
+            "recovery": {
+                "runs": runs,
+                "mean_seconds": sum(recovery_times) / runs,
+                "max_seconds": max(recovery_times),
+                "phases": {
+                    name: {
+                        "total_seconds": phase_totals[name],
+                        "mean_seconds": phase_totals[name] / runs,
+                        "max_seconds": phase_peaks[name],
+                    }
+                    for name in sorted(phase_totals)
+                },
+            },
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _csv(raw: str, cast) -> list:
+    return [cast(token.strip()) for token in raw.split(",") if token.strip()]
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fault.sweep",
+        description="Exhaustive crash-point sweep over persistence boundaries.",
+    )
+    parser.add_argument(
+        "--workload", default="ycsb", choices=sorted(WORKLOAD_NAMES)
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=None,
+        help="sweep a seeded sample of this many points (default: all)",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--modes",
+        default="nvm,log,none",
+        help="comma list of durability modes to sweep (default: all three)",
+    )
+    parser.add_argument(
+        "--shards",
+        default="1",
+        help="comma list of shard counts (1 = plain Database)",
+    )
+    parser.add_argument(
+        "--survivors",
+        default="0.0",
+        help="comma list of survivor fractions for unflushed state",
+    )
+    parser.add_argument("--out", default=None, help="write the JSON report here")
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="scratch directory (default: a fresh temp dir, removed after)",
+    )
+    args = parser.parse_args(argv)
+
+    modes = _csv(args.modes, str)
+    shard_counts = _csv(args.shards, int)
+    survivors = _csv(args.survivors, float)
+
+    configs = []
+    for mode in modes:
+        for shards in shard_counts:
+            for survivor in survivors:
+                if mode == "none" and (
+                    shards != shard_counts[0] or survivor != survivors[0]
+                ):
+                    continue  # NONE emits zero events; one cell suffices
+                configs.append((mode, shards, survivor))
+
+    if args.root is not None:
+        root, cleanup = args.root, False
+        os.makedirs(root, exist_ok=True)
+    else:
+        root, cleanup = tempfile.mkdtemp(prefix="crash-sweep-"), True
+
+    reports = []
+    try:
+        for mode, shards, survivor in configs:
+            settings = SweepSettings(
+                workload=args.workload,
+                mode=mode,
+                shards=shards,
+                survivor_fraction=survivor,
+                sample=args.sample,
+                seed=args.seed,
+            )
+            cell = os.path.join(root, f"{mode}-s{shards}-f{survivor}")
+            report = CrashSweep(cell, settings).run()
+            reports.append(report)
+            print(
+                f"[{mode} shards={shards} survivor={survivor}] "
+                f"swept {report['points_swept']}/{report['points_total']} "
+                f"points, {len(report['violations'])} violation(s), "
+                f"{report['elapsed_seconds']:.1f}s",
+                flush=True,
+            )
+    finally:
+        if cleanup:
+            shutil.rmtree(root, ignore_errors=True)
+
+    total_violations = sum(len(r["violations"]) for r in reports)
+    summary = {
+        "workload": args.workload,
+        "seed": args.seed,
+        "sample": args.sample,
+        "total_violations": total_violations,
+        "configs": reports,
+    }
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(summary, f, indent=2)
+        print(f"report written to {args.out}")
+    if total_violations:
+        print(f"FAIL: {total_violations} invariant violation(s)", file=sys.stderr)
+        return 1
+    print("OK: zero invariant violations")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

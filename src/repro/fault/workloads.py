@@ -1,0 +1,196 @@
+"""Deterministic sweep workloads and the committed-state oracle.
+
+A sweep workload is a fixed setup (table + initial bulk load, run
+*before* crash injection arms) followed by a deterministic sequence of
+steps — each step one autocommit operation or maintenance action. The
+:class:`Oracle` shadows the engine: after a crash at an arbitrary
+persistence boundary, the recovered state must equal the committed
+shadow plus an all-or-nothing application of the in-flight step's
+atomicity groups (per-shard sub-batches for fanned-out batch inserts,
+the whole step otherwise).
+
+Rows are ``{"key": int, "note": str}``; keys are never reused and notes
+are globally unique, so pre- and post-states of any step are always
+distinguishable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.storage.types import DataType
+
+#: Table every sweep workload runs against.
+TABLE = "kv"
+SCHEMA = {"key": DataType.INT64, "note": DataType.STRING}
+
+WORKLOAD_NAMES = ("ycsb", "batch", "maint")
+
+
+@dataclass(frozen=True)
+class Step:
+    """One workload step. ``rows`` for inserts, ``key``/``note`` for
+    point updates and deletes; merge/checkpoint carry no payload."""
+
+    kind: str  # insert | insert_many | bulk | update | delete | merge | checkpoint
+    rows: tuple = ()  # ((key, note), ...)
+    key: int = -1
+    note: str = ""
+
+    def effects(self) -> dict:
+        """Post-state this step installs: key -> note (None = deleted).
+
+        Empty for maintenance steps — merge and checkpoint must never
+        change logical contents, crash or no crash.
+        """
+        if self.kind in ("insert", "insert_many", "bulk"):
+            return dict(self.rows)
+        if self.kind == "update":
+            return {self.key: self.note}
+        if self.kind == "delete":
+            return {self.key: None}
+        return {}
+
+
+@dataclass(frozen=True)
+class SweepWorkload:
+    name: str
+    seed: int
+    initial_rows: tuple  # ((key, note), ...) — committed baseline
+    steps: tuple
+
+    @property
+    def baseline(self) -> dict:
+        return dict(self.initial_rows)
+
+
+class Oracle:
+    """Shadow of what an engine must remember across a power failure.
+
+    ``committed`` holds the effects of every step that *returned*;
+    ``pending`` is the step in flight when the power died (None if the
+    crash hit between steps or after the last one).
+    """
+
+    def __init__(self, baseline: dict):
+        self.committed = dict(baseline)
+        self.pending: Optional[Step] = None
+
+    def begin_step(self, step: Step) -> None:
+        self.pending = step
+
+    def commit_step(self) -> None:
+        step = self.pending
+        assert step is not None
+        for key, note in step.effects().items():
+            if note is None:
+                self.committed.pop(key, None)
+            else:
+                self.committed[key] = note
+        self.pending = None
+
+
+class _Planner:
+    """Seeded generator of steps with consistent key/note bookkeeping."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self._next_key = 0
+        self._note_seq = 0
+        self.live: list[int] = []  # keys visible at this point of the plan
+
+    def note(self) -> str:
+        self._note_seq += 1
+        return f"v{self._note_seq:05d}"
+
+    def fresh_rows(self, count: int) -> tuple:
+        rows = []
+        for _ in range(count):
+            key = self._next_key
+            self._next_key += 1
+            self.live.append(key)
+            rows.append((key, self.note()))
+        return tuple(rows)
+
+    def insert(self) -> Step:
+        return Step("insert", rows=self.fresh_rows(1))
+
+    def insert_many(self, count: int) -> Step:
+        return Step("insert_many", rows=self.fresh_rows(count))
+
+    def bulk(self, count: int) -> Step:
+        return Step("bulk", rows=self.fresh_rows(count))
+
+    def update(self) -> Step:
+        key = self.rng.choice(self.live)
+        return Step("update", key=key, note=self.note())
+
+    def delete(self) -> Step:
+        key = self.rng.choice(self.live)
+        self.live.remove(key)
+        return Step("delete", key=key)
+
+
+def make_workload(name: str, seed: int = 0) -> SweepWorkload:
+    """Build a named preset. Same (name, seed) -> identical plan."""
+    planner = _Planner(seed)
+    if name == "ycsb":
+        # Read-modify-write mix in the spirit of YCSB-A plus the two
+        # maintenance actions, so crash points land inside every
+        # operation class the engine has.
+        initial = planner.fresh_rows(24)
+        steps: list[Step] = []
+        for _ in range(5):
+            steps.append(_mixed_step(planner))
+        steps.append(Step("merge"))
+        steps.append(Step("checkpoint"))
+        for _ in range(5):
+            steps.append(_mixed_step(planner))
+        steps.append(planner.insert_many(6))
+    elif name == "batch":
+        # Batch-heavy: exercises the vectorized multi-row commit path
+        # and per-shard sub-batch atomicity.
+        initial = planner.fresh_rows(12)
+        steps = [
+            planner.insert_many(8),
+            planner.bulk(6),
+            Step("merge"),
+            planner.insert_many(5),
+            planner.delete(),
+            Step("checkpoint"),
+            planner.update(),
+            planner.insert_many(4),
+        ]
+    elif name == "maint":
+        # Maintenance-heavy: most crash points land inside merge and
+        # checkpoint, which must be invisible to logical state.
+        initial = planner.fresh_rows(16)
+        steps = [
+            planner.insert_many(4),
+            Step("merge"),
+            planner.update(),
+            planner.delete(),
+            Step("merge"),
+            Step("checkpoint"),
+            planner.insert(),
+            Step("merge"),
+            Step("checkpoint"),
+        ]
+    else:
+        raise ValueError(f"unknown workload {name!r} (have {WORKLOAD_NAMES})")
+    return SweepWorkload(name, seed, initial, tuple(steps))
+
+
+def _mixed_step(planner: _Planner) -> Step:
+    roll = planner.rng.random()
+    if roll < 0.35:
+        return planner.insert()
+    if roll < 0.55:
+        return planner.insert_many(planner.rng.randint(3, 6))
+    if roll < 0.80:
+        return planner.update()
+    if roll < 0.90:
+        return planner.delete()
+    return planner.bulk(4)

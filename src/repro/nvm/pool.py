@@ -29,7 +29,12 @@ from typing import Optional
 import numpy as np
 
 from repro.nvm.errors import PoolCorruptError, PoolFullError, PoolModeError
-from repro.nvm.latency import LatencyModel, NvmStats, busy_wait_ns
+from repro.nvm.latency import (
+    LatencyModel,
+    NvmStats,
+    busy_wait_ns,
+    persistence_event,
+)
 
 CACHE_LINE = 64
 
@@ -401,6 +406,9 @@ class PMemPool:
         """
         if length <= 0:
             return
+        # Crash-point boundary: a simulated power failure raised here
+        # means none of the covered lines became durable.
+        persistence_event("flush")
         first = (offset // CACHE_LINE) * CACHE_LINE
         last = ((offset + length - 1) // CACHE_LINE) * CACHE_LINE
         n_lines = (last - first) // CACHE_LINE + 1
@@ -416,6 +424,7 @@ class PMemPool:
 
     def drain(self) -> None:
         """Persist barrier (SFENCE): order previously flushed lines."""
+        persistence_event("drain")
         self.stats.drain_calls += 1
         model = self.stats.model
         if model.injected_drain_ns:

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.nvm.latency import persistence_event
 from repro.storage.backend import Backend
 from repro.storage.delta import DeltaPartition
 from repro.storage.dictionary import SortedDictionary, UnsortedDictionary
@@ -282,6 +283,9 @@ def write_checkpoint(data: CheckpointData, path: str) -> int:
         f.write(header)
         f.write(body_bytes)
         f.flush()
+        # Crash-point boundary: a power failure raised here leaves only
+        # the .tmp file; the rename below never publishes it.
+        persistence_event("checkpoint_fsync")
         os.fsync(f.fileno())
     os.replace(tmp, path)
     return len(header) + len(body_bytes)

@@ -1,30 +1,78 @@
-"""Log reading: iterate framed records, stopping at the torn tail."""
+"""Log reading: iterate framed records, stopping at the torn tail.
+
+Records are decoded from a fixed-size sliding window rather than a
+whole-file slurp, so recovering a multi-gigabyte log needs O(chunk)
+memory no matter how large the log grew between checkpoints.
+"""
 
 from __future__ import annotations
 
 import os
+import struct
+import zlib
 from typing import Iterator
 
-from repro.wal.records import LogRecord, decode_record
+from repro.wal.records import LogRecord, decode_payload
+
+#: Read granularity of the sliding window.
+CHUNK_SIZE = 256 * 1024
+
+#: Frames we write are at most a few MiB (one batched insert-many); a
+#: length prefix beyond this bound is torn-tail garbage, not a record —
+#: without the cap, a corrupt length could make the reader buffer an
+#: arbitrarily large slice of the file before the CRC rejects it.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct("<II")
 
 
 def read_log(path: str, start_lsn: int = 0) -> Iterator[tuple[LogRecord, int]]:
     """Yield (record, end_lsn) from ``start_lsn`` until EOF or corruption.
 
     ``end_lsn`` is the byte offset just past the record — the LSN a
-    checkpoint taken after applying it should store.
+    checkpoint taken after applying it should store. Iteration stops at
+    the first truncated or CRC-failing frame (the torn tail a crash
+    leaves behind).
     """
     if not os.path.exists(path):
         return
     with open(path, "rb") as f:
-        buffer = f.read()
-    pos = start_lsn
-    while True:
-        decoded = decode_record(buffer, pos)
-        if decoded is None:
-            return
-        record, pos = decoded
-        yield record, pos
+        f.seek(start_lsn)
+        buffer = bytearray()
+        base = start_lsn  # absolute LSN of buffer[0]
+        pos = start_lsn  # absolute LSN of the next frame
+        eof = False
+
+        def fill(need: int) -> bool:
+            """Grow the buffer until ``need`` bytes follow ``pos``."""
+            nonlocal eof
+            while not eof and len(buffer) - (pos - base) < need:
+                chunk = f.read(CHUNK_SIZE)
+                if chunk:
+                    buffer.extend(chunk)
+                else:
+                    eof = True
+            return len(buffer) - (pos - base) >= need
+
+        while True:
+            if not fill(_HEADER.size):
+                return
+            length, crc = _HEADER.unpack_from(buffer, pos - base)
+            if length > MAX_RECORD_BYTES:
+                return
+            if not fill(_HEADER.size + length):
+                return
+            start = pos - base + _HEADER.size
+            payload = bytes(buffer[start : start + length])
+            if zlib.crc32(payload) != crc:
+                return
+            pos += _HEADER.size + length
+            yield decode_payload(payload), pos
+            # Slide the window: drop consumed bytes once a chunk's worth
+            # has accumulated (amortised O(1) per byte).
+            if pos - base >= CHUNK_SIZE:
+                del buffer[: pos - base]
+                base = pos
 
 
 def count_records(path: str, start_lsn: int = 0) -> int:

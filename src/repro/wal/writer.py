@@ -16,8 +16,10 @@ records trigger an fsync according to the group-commit policy:
 from __future__ import annotations
 
 import os
-from typing import Sequence
+import random
+from typing import Optional, Sequence
 
+from repro.nvm.latency import persistence_event
 from repro.storage.types import Value
 from repro.wal.records import (
     AbortRecord,
@@ -64,6 +66,9 @@ class LogWriter:
 
     def sync(self) -> None:
         """Force everything written so far to stable storage."""
+        # Crash-point boundary: a simulated power failure raised here
+        # means nothing past the previous sync became durable.
+        persistence_event("wal_fsync")
         self._file.flush()
         os.fsync(self._file.fileno())
         self.syncs += 1
@@ -110,15 +115,45 @@ class LogWriter:
             self.sync()
             self._file.close()
 
-    def crash(self) -> None:
-        """Simulate a power failure: everything after the last fsync is lost.
+    def crash(
+        self,
+        survivor_fraction: float = 0.0,
+        seed: Optional[int] = None,
+        torn_tail: bool = False,
+    ) -> None:
+        """Simulate a power failure.
 
-        Real hardware may keep some un-fsynced bytes; truncating to the
-        last synced LSN is the adversarial (worst) case, which is what
-        recovery must survive.
+        With ``torn_tail=False`` everything after the last fsync is lost
+        — the clean-truncate model. Real disks are messier: the OS may
+        have written back any prefix of the un-fsynced bytes, and the
+        sector containing the write frontier can hold garbage. With
+        ``torn_tail=True`` a ``survivor_fraction`` share of the
+        un-fsynced bytes survives (possibly ending mid-record) and
+        garbage bytes are appended past the survivors, so recovery's CRC
+        framing — and its handling of a log that does not end at a
+        record boundary — is actually exercised.
+
+        Everything at or before ``_synced_lsn`` is durable in both
+        modes; recovery must never lose it.
         """
         if not self._file.closed:
+            # close() flushes Python's userspace buffer to the OS —
+            # modelling the page cache, from which the tail is then
+            # selectively lost below.
             self._file.close()
+        rng = random.Random(seed)
         with open(self._path, "r+b") as f:
-            f.truncate(self._synced_lsn)
-        self.bytes_written = self._synced_lsn
+            if torn_tail:
+                size = os.path.getsize(self._path)
+                unsynced = max(size - self._synced_lsn, 0)
+                keep = int(unsynced * survivor_fraction)
+                frontier = self._synced_lsn + keep
+                f.truncate(frontier)
+                garbage = bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(1, 64))
+                )
+                f.seek(frontier)
+                f.write(garbage)
+            else:
+                f.truncate(self._synced_lsn)
+        self.bytes_written = os.path.getsize(self._path)

@@ -1,0 +1,271 @@
+"""Regression tests for crash-path bugs and maintenance-crash coverage.
+
+* The sharded engine must join in-flight fan-out workers *before*
+  crashing the shards (pre-fix: ``crash()`` shut the executor down with
+  ``wait=False`` afterwards, letting workers persist post-crash state).
+* A torn-tail LOG crash must not make post-recovery appends land after
+  garbage where replay can never reach them (pre-fix: the writer
+  reopened in append mode at the physical end of file).
+* A power failure at any point inside ``merge()`` / ``checkpoint()``
+  must be logically invisible, for every durability driver, with STRICT
+  pmem simulation in NVM mode.
+"""
+
+import shutil
+import threading
+
+import pytest
+
+from tests.conftest import make_config
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.core.sharding import ShardedEngine, partition_of
+from repro.fault.inject import CrashPointInjector, SimulatedPowerFailure
+from repro.nvm.latency import set_persistence_hook
+from repro.nvm.pool import PMemMode
+from repro.storage.types import DataType
+
+SCHEMA = {"key": DataType.INT64, "note": DataType.STRING}
+
+
+class TestShardedCrashRace:
+    def test_crash_joins_inflight_fanout_workers(self, tmp_path):
+        """Crash mid-fan-out: ``crash()`` must wait for running workers.
+
+        A shard worker is stalled inside its commit fsync while the main
+        thread calls ``crash()``. Pre-fix, ``crash()`` returned without
+        joining it (executor shutdown used ``wait=False``, and only
+        after the shards were already crashed), so the release event
+        below would still be unset when ``crash()`` returned.
+        """
+        config = make_config(
+            DurabilityMode.LOG, shards=2, group_commit_size=1
+        )
+        engine = ShardedEngine(str(tmp_path / "db"), config)
+        engine.create_table("kv", SCHEMA)
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def stalling_hook(kind: str) -> None:
+            # Stall only shard fan-out workers at their commit fsync;
+            # the main thread (which runs crash()) never blocks here.
+            name = threading.current_thread().name
+            if kind == "wal_fsync" and name.startswith("shard"):
+                entered.set()
+                release.wait(timeout=10.0)
+
+        rows = [{"key": k, "note": f"n{k}"} for k in range(32)]
+
+        def run_batch() -> None:
+            try:
+                engine.insert_many("kv", rows)
+            except BaseException:  # noqa: BLE001 — power failure expected
+                pass
+
+        set_persistence_hook(stalling_hook)
+        try:
+            batch = threading.Thread(target=run_batch, daemon=True)
+            batch.start()
+            assert entered.wait(5.0), "no shard worker reached its fsync"
+            # Release the stalled worker only after crash() has started.
+            timer = threading.Timer(0.25, release.set)
+            timer.start()
+            try:
+                engine.crash()
+                assert release.is_set(), (
+                    "crash() returned while a fan-out worker was still "
+                    "writing shard state"
+                )
+            finally:
+                timer.cancel()
+        finally:
+            release.set()
+            set_persistence_hook(None)
+        batch.join(5.0)
+        assert not batch.is_alive()
+
+        recovered = ShardedEngine(str(tmp_path / "db"), config)
+        try:
+            assert recovered.verify() == []
+            found = {row["key"] for row in recovered.query("kv").rows()}
+            # each shard's sub-batch is atomic: fully there or fully not
+            for shard in range(2):
+                group = {
+                    r["key"] for r in rows if partition_of(r["key"], 2) == shard
+                }
+                assert found & group in (set(), group)
+        finally:
+            recovered.close()
+
+
+class TestTornTailRecoveryAppend:
+    @pytest.mark.parametrize("survivor", [0.0, 0.5, 1.0])
+    def test_appends_after_torn_crash_are_replayable(self, tmp_path, survivor):
+        """Records appended after recovering from a torn tail must
+        survive the *next* restart.
+
+        Pre-fix, recovery decoded past the torn tail correctly but left
+        the garbage bytes in place; the reopened writer appended new
+        records after them, where replay (which stops at the garbage)
+        could never reach — silently losing every post-recovery commit.
+        """
+        config = make_config(DurabilityMode.LOG, group_commit_size=1)
+        path = str(tmp_path / "db")
+        db = Database(path, config)
+        db.create_table("kv", SCHEMA)
+        db.insert_many("kv", [{"key": k, "note": f"n{k}"} for k in range(8)])
+        txn = db.begin()  # in flight at the crash: must roll back
+        txn.insert("kv", {"key": 100, "note": "inflight"})
+        db.crash(survivor_fraction=survivor, seed=5)
+
+        db2 = Database(path, config)
+        assert db2.verify() == []
+        assert {r["key"] for r in db2.query("kv").rows()} == set(range(8))
+        db2.insert("kv", {"key": 50, "note": "after-crash"})
+        db2.close()
+
+        db3 = Database(path, config)
+        assert db3.verify() == []
+        assert {r["key"] for r in db3.query("kv").rows()} == (
+            set(range(8)) | {50}
+        )
+        db3.close()
+
+
+class TestBulkLoadCidOrdering:
+    def test_every_point_inside_bulk_insert_is_safe(self, tmp_path):
+        """Sweep every persistence boundary inside ``bulk_insert``.
+
+        Found by the crash-point sweep: bulk loads bypass the
+        transaction table, so the commit id must be durable before the
+        begin-vector publish. Pre-fix, the counter advanced *after* the
+        publish; a crash in between recovered rows stamped with a
+        commit id beyond the engine's ``last_cid``.
+        """
+        config = _maintenance_config(DurabilityMode.NVM)
+        base = {k: f"n{k}" for k in range(4)}
+        batch = [{"key": 100 + i, "note": f"b{i}"} for i in range(6)]
+
+        def build(path: str) -> Database:
+            db = Database(path, config)
+            db.create_table("kv", SCHEMA)
+            db.insert_many("kv", [{"key": k, "note": v} for k, v in base.items()])
+            return db
+
+        db = build(str(tmp_path / "count"))
+        with CrashPointInjector() as counter:
+            db.bulk_insert("kv", batch)
+        total = counter.events
+        db.close()
+        assert total > 0
+
+        with_batch = {**base, **{r["key"]: r["note"] for r in batch}}
+        for point in range(1, total + 1):
+            path = str(tmp_path / f"pt{point}")
+            db = build(path)
+            with CrashPointInjector(crash_at=point):
+                with pytest.raises(SimulatedPowerFailure):
+                    db.bulk_insert("kv", batch)
+                db.crash(seed=point)
+            recovered = Database(path, config)
+            assert recovered.verify() == [], f"invariants broken at {point}"
+            found = {r["key"]: r["note"] for r in recovered.query("kv").rows()}
+            assert found in (base, with_batch), f"torn bulk load at {point}"
+            recovered.close()
+            shutil.rmtree(path, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Crashes inside maintenance operations
+# ----------------------------------------------------------------------
+
+
+def _build(path: str, config) -> tuple:
+    """Deterministic database with main rows, delta rows, updates and a
+    delete — so merge() actually has invalidations to fold."""
+    db = Database(path, config)
+    db.create_table("kv", SCHEMA)
+    db.insert_many("kv", [{"key": k, "note": f"n{k}"} for k in range(8)])
+    txn = db.begin()
+    ref = txn.query("kv", None).refs()[0]
+    txn.update("kv", ref, {"note": "updated"})
+    txn.commit()
+    txn = db.begin()
+    ref = txn.query("kv", None).refs()[-1]
+    txn.delete("kv", ref)
+    txn.commit()
+    expected = {row["key"]: row["note"] for row in db.query("kv").rows()}
+    return db, expected
+
+
+def _maintenance_config(mode: DurabilityMode):
+    overrides = {"group_commit_size": 1}
+    if mode is DurabilityMode.NVM:
+        overrides["pmem_mode"] = PMemMode.STRICT
+    return make_config(mode, **overrides)
+
+
+def _sweep_operation(tmp_path, mode, survivor, operation) -> None:
+    """Kill ``operation`` at every persistence boundary; recovered state
+    must be unchanged and consistent every time."""
+    config = _maintenance_config(mode)
+
+    db, expected = _build(str(tmp_path / "count"), config)
+    with CrashPointInjector() as counter:
+        operation(db)
+    total = counter.events
+    db.close()
+
+    if mode is DurabilityMode.NONE:
+        assert total == 0  # nothing persists, nothing to sweep
+        return
+    assert total > 0
+
+    for point in range(1, total + 1):
+        path = str(tmp_path / f"pt{point}")
+        db, expected = _build(path, config)
+        with CrashPointInjector(crash_at=point):
+            with pytest.raises(SimulatedPowerFailure):
+                operation(db)
+            db.crash(survivor_fraction=survivor, seed=point)
+        recovered = Database(path, config)
+        assert recovered.verify() == [], f"invariants broken at point {point}"
+        found = {r["key"]: r["note"] for r in recovered.query("kv").rows()}
+        assert found == expected, f"state changed by crashed op at {point}"
+        recovered.close()
+        shutil.rmtree(path, ignore_errors=True)
+
+
+class TestCrashDuringMerge:
+    @pytest.mark.parametrize(
+        "mode,survivor",
+        [
+            (DurabilityMode.NVM, 0.0),
+            (DurabilityMode.NVM, 0.5),
+            (DurabilityMode.NVM, 1.0),
+            (DurabilityMode.LOG, 0.0),
+            (DurabilityMode.LOG, 1.0),
+            (DurabilityMode.NONE, 0.0),
+        ],
+        ids=lambda v: str(getattr(v, "value", v)),
+    )
+    def test_every_point_inside_merge_is_safe(self, tmp_path, mode, survivor):
+        _sweep_operation(tmp_path, mode, survivor, lambda db: db.merge("kv"))
+
+
+class TestCrashDuringCheckpoint:
+    @pytest.mark.parametrize("survivor", [0.0, 1.0])
+    def test_every_point_inside_checkpoint_is_safe(self, tmp_path, survivor):
+        _sweep_operation(
+            tmp_path,
+            DurabilityMode.LOG,
+            survivor,
+            lambda db: db.checkpoint(),
+        )
+
+    def test_checkpoint_requires_log_mode(self, tmp_path):
+        db, _ = _build(str(tmp_path / "db"), _maintenance_config(DurabilityMode.NVM))
+        with pytest.raises(RuntimeError):
+            db.checkpoint()
+        db.close()

@@ -1,0 +1,238 @@
+"""Tests for the crash-point sweep harness (``repro.fault``)."""
+
+import json
+
+import pytest
+
+from repro.core.sharding import partition_of
+from repro.fault.inject import CrashPointInjector, SimulatedPowerFailure
+from repro.fault.sweep import CrashSweep, SweepSettings, main
+from repro.fault.workloads import (
+    SCHEMA,
+    TABLE,
+    Oracle,
+    Step,
+    make_workload,
+)
+from repro.nvm.latency import get_persistence_hook, persistence_event
+
+
+class TestInjector:
+    def test_counting_mode_tallies_without_firing(self):
+        with CrashPointInjector() as inj:
+            persistence_event("flush")
+            persistence_event("flush")
+            persistence_event("drain")
+        assert inj.events == 3
+        assert inj.by_kind == {"flush": 2, "drain": 1}
+        assert not inj.fired
+        assert get_persistence_hook() is None
+
+    def test_fires_at_k_and_power_stays_off(self):
+        with CrashPointInjector(crash_at=2) as inj:
+            persistence_event("flush")
+            with pytest.raises(SimulatedPowerFailure):
+                persistence_event("drain")
+            assert inj.fired
+            assert inj.fired_kind == "drain"
+            # every later event must fail too — the power is off
+            with pytest.raises(SimulatedPowerFailure):
+                persistence_event("wal_fsync")
+        assert inj.events == 2  # post-failure attempts are not points
+
+    def test_hook_uninstalled_even_on_failure(self):
+        with pytest.raises(SimulatedPowerFailure):
+            with CrashPointInjector(crash_at=1):
+                persistence_event("flush")
+        assert get_persistence_hook() is None
+        persistence_event("flush")  # no hook installed: a no-op
+
+    def test_not_swallowed_by_except_exception(self):
+        # Engine or workload code with `except Exception` cleanup must
+        # not be able to absorb a power failure and keep running.
+        with CrashPointInjector(crash_at=1):
+            with pytest.raises(SimulatedPowerFailure):
+                try:
+                    persistence_event("flush")
+                except Exception:  # noqa: BLE001
+                    pytest.fail("power failure was swallowed")
+
+    def test_crash_at_is_one_based(self):
+        with pytest.raises(ValueError):
+            CrashPointInjector(crash_at=0)
+
+
+class TestWorkloads:
+    def test_same_seed_same_plan(self):
+        assert make_workload("ycsb", 7) == make_workload("ycsb", 7)
+        assert make_workload("ycsb", 7) != make_workload("ycsb", 8)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_workload("nope", 1)
+
+    def test_oracle_applies_committed_steps_only(self):
+        oracle = Oracle({1: "a"})
+        oracle.begin_step(Step("insert", rows=((2, "b"),)))
+        assert oracle.pending is not None
+        assert oracle.committed == {1: "a"}  # not yet returned
+        oracle.commit_step()
+        assert oracle.pending is None
+        assert oracle.committed == {1: "a", 2: "b"}
+        oracle.begin_step(Step("delete", key=1))
+        oracle.commit_step()
+        assert oracle.committed == {2: "b"}
+
+    def test_maintenance_steps_have_no_effects(self):
+        assert Step("merge").effects() == {}
+        assert Step("checkpoint").effects() == {}
+
+
+class TestPendingGroups:
+    def test_sharded_batches_group_per_shard(self, tmp_path):
+        sweep = CrashSweep(
+            str(tmp_path), SweepSettings(mode="nvm", shards=4)
+        )
+        step = Step("insert_many", rows=tuple((k, f"n{k}") for k in range(16)))
+        groups = sweep._pending_groups(step)
+        assert sum(len(g) for g in groups) == 16
+        for group in groups:
+            assert len({partition_of(k, 4) for k in group}) == 1
+
+    def test_single_engine_batch_is_one_group(self, tmp_path):
+        sweep = CrashSweep(
+            str(tmp_path), SweepSettings(mode="nvm", shards=1)
+        )
+        step = Step("insert_many", rows=((1, "a"), (2, "b")))
+        assert sweep._pending_groups(step) == [{1: "a", 2: "b"}]
+
+    def test_maintenance_and_idle_have_no_groups(self, tmp_path):
+        sweep = CrashSweep(
+            str(tmp_path), SweepSettings(mode="nvm", shards=4)
+        )
+        assert sweep._pending_groups(Step("merge")) == []
+        assert sweep._pending_groups(None) == []
+
+
+class TestChecker:
+    """The invariant checker must actually detect broken states."""
+
+    @pytest.fixture
+    def sweep_and_engine(self, tmp_path):
+        sweep = CrashSweep(
+            str(tmp_path / "sweep"), SweepSettings(mode="nvm", shards=1)
+        )
+        engine = sweep._open(str(tmp_path / "db"))
+        engine.create_table(TABLE, SCHEMA)
+        engine.insert(TABLE, {"key": 1, "note": "real"})
+        yield sweep, engine
+        engine.close()
+
+    def test_flags_lost_committed_row(self, sweep_and_engine):
+        sweep, engine = sweep_and_engine
+        problems = sweep._check_state(engine, Oracle({1: "real", 2: "gone"}))
+        assert any("lost" in p for p in problems)
+
+    def test_flags_phantom_row(self, sweep_and_engine):
+        sweep, engine = sweep_and_engine
+        problems = sweep._check_state(engine, Oracle({}))
+        assert any("phantom" in p for p in problems)
+
+    def test_flags_wrong_value(self, sweep_and_engine):
+        sweep, engine = sweep_and_engine
+        problems = sweep._check_state(engine, Oracle({1: "other"}))
+        assert any("expected" in p for p in problems)
+
+    def test_flags_torn_pending_batch(self, sweep_and_engine):
+        sweep, engine = sweep_and_engine
+        oracle = Oracle({})
+        oracle.begin_step(
+            Step("insert_many", rows=((1, "real"), (5, "missing")))
+        )
+        problems = sweep._check_state(engine, oracle)
+        assert any("atomicity violation" in p for p in problems)
+
+    def test_accepts_pending_batch_fully_applied_or_absent(
+        self, sweep_and_engine
+    ):
+        sweep, engine = sweep_and_engine
+        applied = Oracle({})
+        applied.begin_step(Step("insert", rows=((1, "real"),)))
+        assert sweep._check_state(engine, applied) == []
+        absent = Oracle({1: "real"})
+        absent.begin_step(Step("insert", rows=((7, "never-landed"),)))
+        assert sweep._check_state(engine, absent) == []
+
+
+#: (mode, shards, survivor_fraction) — all three drivers, single-engine
+#: and 4-shard, each survivor regime from the issue.
+SWEEP_CELLS = [
+    ("nvm", 1, 0.0),
+    ("nvm", 1, 0.5),
+    ("nvm", 1, 1.0),
+    ("nvm", 4, 0.0),
+    ("nvm", 4, 1.0),
+    ("log", 1, 0.0),
+    ("log", 1, 0.5),
+    ("log", 1, 1.0),
+    ("log", 4, 0.0),
+    ("log", 4, 1.0),
+    ("none", 1, 0.0),
+]
+
+
+@pytest.mark.parametrize(
+    "mode,shards,survivor",
+    SWEEP_CELLS,
+    ids=[f"{m}-s{s}-f{f}" for m, s, f in SWEEP_CELLS],
+)
+def test_sweep_reports_zero_violations(tmp_path, mode, shards, survivor):
+    settings = SweepSettings(
+        workload="batch",
+        mode=mode,
+        shards=shards,
+        survivor_fraction=survivor,
+        sample=8,
+        seed=11,
+    )
+    report = CrashSweep(str(tmp_path), settings).run()
+    assert report["violations"] == []
+    assert report["points_not_fired"] == 0
+    if mode == "none":
+        # NONE never persists: no boundaries, nothing to sweep.
+        assert report["points_total"] == 0
+    else:
+        assert report["points_total"] > 0
+        assert report["points_swept"] >= min(8, report["points_total"])
+        assert report["crash_kinds_swept"]
+        assert report["recovery"]["runs"] == report["points_swept"] + 1
+
+
+def test_cli_writes_report_and_exits_zero(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = main(
+        [
+            "--workload",
+            "maint",
+            "--sample",
+            "4",
+            "--seed",
+            "3",
+            "--modes",
+            "log",
+            "--shards",
+            "1",
+            "--out",
+            str(out),
+            "--root",
+            str(tmp_path / "scratch"),
+        ]
+    )
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["total_violations"] == 0
+    (cell,) = data["configs"]
+    assert cell["mode"] == "log"
+    assert cell["points_total"] > 0
+    assert cell["recovery"]["runs"] >= 1
+    assert "OK" in capsys.readouterr().out
