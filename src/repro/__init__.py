@@ -23,6 +23,14 @@ from repro.core import (
     ShardedResult,
     Transaction,
 )
+from repro.obs import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    to_json,
+    to_prometheus,
+    trace_phase,
+)
 from repro.storage import ColumnDef, DataType, Schema
 from repro.query import (
     And,
@@ -67,6 +75,7 @@ __all__ = [
     "IsNull",
     "Le",
     "Lt",
+    "MetricsRegistry",
     "Ne",
     "Not",
     "NotNull",
@@ -80,9 +89,14 @@ __all__ = [
     "TransactionError",
     "aggregate",
     "anti_join",
+    "get_registry",
     "hash_join",
     "order_by",
     "scan",
     "semi_join",
+    "set_registry",
+    "to_json",
+    "to_prometheus",
     "top_k",
+    "trace_phase",
 ]

@@ -5,16 +5,18 @@ Usage::
     python -m repro.bench.run_all [--quick] [--only E1,E3] [--out report.md]
 
 Runs the same experiments as ``pytest benchmarks/ --benchmark-only``
-(E1–E10) in-process and prints/saves the result tables. ``--quick``
-shrinks sweeps by ~4x for a fast smoke run. ``--json PATH`` dumps the
-raw table rows (for experiments that export them, e.g. E10) as JSON —
-the CI smoke step archives this as a benchmark artifact.
+(E1–E10) in-process and prints/saves the result tables. Every runner
+exports its raw table rows: ``--json PATH`` dumps them all into one
+JSON document keyed by experiment id, and ``--json-dir DIR`` writes one
+``BENCH_<id>.json`` per executed experiment — the CI smoke step
+archives these as benchmark artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import shutil
 import tempfile
 import time
@@ -26,6 +28,12 @@ from repro.nvm.latency import LatencyModel
 from repro.query.predicate import Between, Eq
 from repro.workloads.generator import RowGenerator, WideRowGenerator
 from repro.workloads.ycsb import YcsbConfig, YcsbDriver
+
+
+def _finish(name: str, rows_out: list, title: str) -> str:
+    """Register an experiment's raw rows for JSON export; format them."""
+    _JSON_ROWS[name] = rows_out
+    return format_table(rows_out, title=title)
 
 
 def _config(mode: DurabilityMode, **overrides) -> EngineConfig:
@@ -76,7 +84,7 @@ def run_e1(quick: bool) -> str:
             rows_out.append(record)
     finally:
         shutil.rmtree(base, ignore_errors=True)
-    return format_table(rows_out, title="E1: restart time vs dataset size")
+    return _finish("E1", rows_out, "E1: restart time vs dataset size")
 
 
 def run_e2(quick: bool) -> str:
@@ -99,7 +107,7 @@ def run_e2(quick: bool) -> str:
             db.close()
     finally:
         shutil.rmtree(base, ignore_errors=True)
-    return format_table(rows_out, title=f"E2: recovery breakdown ({rows} rows)")
+    return _finish("E2", rows_out, f"E2: recovery breakdown ({rows} rows)")
 
 
 def run_e3(quick: bool) -> str:
@@ -125,7 +133,7 @@ def run_e3(quick: bool) -> str:
             db.close()
             shutil.rmtree(path, ignore_errors=True)
         rows_out.append(record)
-    return format_table(rows_out, title="E3: throughput by durability mode")
+    return _finish("E3", rows_out, "E3: throughput by durability mode")
 
 
 def run_e4(quick: bool) -> str:
@@ -147,7 +155,7 @@ def run_e4(quick: bool) -> str:
             db.close()
             shutil.rmtree(path, ignore_errors=True)
         rows_out.append(record)
-    return format_table(rows_out, title="E4: throughput vs NVM write latency")
+    return _finish("E4", rows_out, "E4: throughput vs NVM write latency")
 
 
 def run_e5(quick: bool) -> str:
@@ -180,7 +188,7 @@ def run_e5(quick: bool) -> str:
         db.close()
     finally:
         shutil.rmtree(path, ignore_errors=True)
-    return format_table(rows_out, title=f"E5: scan latency vs delta fill (main={main_rows})")
+    return _finish("E5", rows_out, f"E5: scan latency vs delta fill (main={main_rows})")
 
 
 def run_e6(quick: bool) -> str:
@@ -211,7 +219,7 @@ def run_e6(quick: bool) -> str:
             rows_out.append(record)
     finally:
         shutil.rmtree(base, ignore_errors=True)
-    return format_table(rows_out, title="E6: restart time vs transaction history")
+    return _finish("E6", rows_out, "E6: restart time vs transaction history")
 
 
 def run_e7(quick: bool) -> str:
@@ -246,7 +254,7 @@ def run_e7(quick: bool) -> str:
                     "first_query_ms": first_query_ms,
                 }
             )
-    return format_table(rows_out, title="E7: persistent vs volatile delta index")
+    return _finish("E7", rows_out, "E7: persistent vs volatile delta index")
 
 
 def run_e9(quick: bool) -> str:
@@ -293,9 +301,7 @@ def run_e9(quick: bool) -> str:
                 eng.close()
             finally:
                 shutil.rmtree(base, ignore_errors=True)
-    return format_table(
-        rows_out, title=f"E9: restart time vs shard count ({rows} rows)"
-    )
+    return _finish("E9", rows_out, f"E9: restart time vs shard count ({rows} rows)")
 
 
 def run_e10(quick: bool) -> str:
@@ -354,10 +360,7 @@ def run_e10(quick: bool) -> str:
             record[f"{tag}_rows_s"] = rates[(tag, batch)]
             record[f"{tag}_speedup"] = rates[(tag, batch)] / rates[(tag, 1)]
         rows_out.append(record)
-    _JSON_ROWS["E10"] = rows_out
-    return format_table(
-        rows_out, title="E10: bulk insert throughput vs batch size"
-    )
+    return _finish("E10", rows_out, "E10: bulk insert throughput vs batch size")
 
 
 EXPERIMENTS = {
@@ -386,6 +389,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json", default="", help="dump raw table rows as JSON here"
     )
+    parser.add_argument(
+        "--json-dir",
+        default="",
+        help="write one BENCH_<id>.json per executed experiment into DIR",
+    )
     args = parser.parse_args(argv)
     _JSON_ROWS.clear()
 
@@ -408,6 +416,13 @@ def main(argv=None) -> int:
         with open(args.json, "w") as f:
             json.dump(_JSON_ROWS, f, indent=2)
         print(f"raw rows written to {args.json}")
+    if args.json_dir:
+        os.makedirs(args.json_dir, exist_ok=True)
+        for name, rows in _JSON_ROWS.items():
+            target = os.path.join(args.json_dir, f"BENCH_{name.lower()}.json")
+            with open(target, "w") as f:
+                json.dump({name: rows}, f, indent=2)
+            print(f"raw rows written to {target}")
     return 0
 
 

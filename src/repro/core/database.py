@@ -34,10 +34,13 @@ from __future__ import annotations
 import os
 from typing import Optional, Sequence, Union
 
-from repro.core.config import DurabilityMode, EngineConfig
+import time
+
+from repro.core.config import EngineConfig
 from repro.core.durability import DurabilityDriver, create_driver
 from repro.index.table_index import TableIndex
 from repro.nvm.pool import PMemPool
+from repro.obs import get_registry, trace_phase
 from repro.query.predicate import Predicate
 from repro.query.scan import ScanResult, scan
 from repro.recovery.report import RecoveryReport
@@ -157,6 +160,11 @@ class Database:
         os.makedirs(path, exist_ok=True)
         self._driver: DurabilityDriver = create_driver(path, self.config)
         self.last_recovery = self._driver.open(self)
+        registry = get_registry()
+        registry.counter("engine_recoveries_total", mode=self.mode.value).inc()
+        registry.histogram("engine_recovery_seconds", mode=self.mode.value).observe(
+            self.last_recovery.total_seconds
+        )
 
     # ------------------------------------------------------------------
     # Registry helpers
@@ -360,22 +368,31 @@ class Database:
                 f"cannot merge with {self._manager.active_count} active txns"
             )
         table = self.table(table_name)
-        new_main, new_delta = merge_table(table, self.backend)
-        old_indexes = self._indexes[table.table_id]
-        table.main = new_main
-        table.delta = new_delta
-        table.generation += 1
-        new_indexes = {
-            column: TableIndex.build(
-                self.backend,
-                table,
-                column,
-                persistent_delta=not old.delta_index.needs_rebuild_after_restart,
-            )
-            for column, old in old_indexes.items()
-        }
-        self._indexes[table.table_id] = new_indexes
-        self._driver.on_merge(table)
+        t0 = time.perf_counter()
+        with trace_phase("merge", table=table_name):
+            new_main, new_delta = merge_table(table, self.backend)
+            old_indexes = self._indexes[table.table_id]
+            table.main = new_main
+            table.delta = new_delta
+            table.generation += 1
+            with trace_phase("index_rebuild"):
+                new_indexes = {
+                    column: TableIndex.build(
+                        self.backend,
+                        table,
+                        column,
+                        persistent_delta=not old.delta_index.needs_rebuild_after_restart,
+                    )
+                    for column, old in old_indexes.items()
+                }
+            self._indexes[table.table_id] = new_indexes
+            with trace_phase("publish"):
+                self._driver.on_merge(table)
+        registry = get_registry()
+        registry.counter("engine_merges_total").inc()
+        registry.histogram("engine_merge_seconds").observe(
+            time.perf_counter() - t0
+        )
 
     def checkpoint(self) -> int:
         """LOG mode: write a full snapshot; returns bytes written."""
@@ -434,6 +451,24 @@ class Database:
             "last_cid": self._manager.last_cid,
         }
         out.update(self._driver.extra_stats())
+        return out
+
+    def metrics_snapshot(self) -> dict:
+        """Process metrics plus this instance's driver-level telemetry.
+
+        ``registry`` holds the process-wide
+        :class:`~repro.obs.metrics.MetricsRegistry` snapshot (counters,
+        gauges, histogram summaries); ``driver`` holds this database's
+        own accounting (pmem pool stats on NVM, WAL stats on LOG);
+        ``recovery`` is the last recovery's span tree.
+        """
+        out = {
+            "mode": self.mode.value,
+            "registry": get_registry().snapshot(),
+            "driver": self._driver.extra_stats(),
+        }
+        if self.last_recovery is not None:
+            out["recovery"] = self.last_recovery.as_dict()
         return out
 
     def memory_report(self) -> dict:

@@ -25,12 +25,15 @@ import os
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Optional, Sequence
 
+import time
+
 from repro.core.config import DurabilityMode, EngineConfig
 from repro.core.nvm_catalog import NvmCatalog
 from repro.nvm.pool import PMemPool
+from repro.obs import get_registry
 from repro.recovery.log_recovery import recover_log
 from repro.recovery.nvm_recovery import recover_nvm
-from repro.recovery.report import PhaseTimer, RecoveryReport
+from repro.recovery.report import RecoveryReport
 from repro.storage.backend import NvmBackend, VolatileBackend
 from repro.storage.schema import Schema
 from repro.storage.table import Table
@@ -142,43 +145,42 @@ class NvmDriver(DurabilityDriver):
         report = RecoveryReport(mode="nvm")
         cfg = self.config
         try:
-            with PhaseTimer(report, "pool_open"):
-                if PMemPool.exists(self.pool_dir):
-                    self._pool = PMemPool.open(
-                        self.pool_dir, mode=cfg.pmem_mode, latency=cfg.latency
+            with report.span:
+                with report.phase("pool_open"):
+                    if PMemPool.exists(self.pool_dir):
+                        self._pool = PMemPool.open(
+                            self.pool_dir, mode=cfg.pmem_mode, latency=cfg.latency
+                        )
+                        fresh = False
+                    else:
+                        self._pool = PMemPool.create(
+                            self.pool_dir,
+                            extent_size=cfg.extent_size,
+                            mode=cfg.pmem_mode,
+                            latency=cfg.latency,
+                        )
+                        fresh = True
+                self.backend = NvmBackend(self._pool)
+                db.backend = self.backend
+                with report.phase("catalog_attach"):
+                    if fresh:
+                        self._catalog = NvmCatalog.format(
+                            self._pool, self.backend, cfg.txn_slots
+                        )
+                    else:
+                        self._catalog = NvmCatalog.attach(self._pool, self.backend)
+                    txn_table = self._catalog.txn_table()
+                    cids = self._catalog.cid_store()
+                    tids = self._catalog.tid_allocator()
+                    for table, indexes, _flag in self._catalog.attach_tables():
+                        db._register(table, indexes)
+                recover_nvm(txn_table, cids, db._table_by_id, report=report)
+                report.tables = len(db._tables_by_id)
+                with report.phase("finalize"):
+                    self._pool.mark_opened()
+                    db._manager = TransactionManager(
+                        txn_table, cids, tids, db._table_by_id, wal=None
                     )
-                    fresh = False
-                else:
-                    self._pool = PMemPool.create(
-                        self.pool_dir,
-                        extent_size=cfg.extent_size,
-                        mode=cfg.pmem_mode,
-                        latency=cfg.latency,
-                    )
-                    fresh = True
-            self.backend = NvmBackend(self._pool)
-            db.backend = self.backend
-            with PhaseTimer(report, "catalog_attach"):
-                if fresh:
-                    self._catalog = NvmCatalog.format(
-                        self._pool, self.backend, cfg.txn_slots
-                    )
-                else:
-                    self._catalog = NvmCatalog.attach(self._pool, self.backend)
-                txn_table = self._catalog.txn_table()
-                cids = self._catalog.cid_store()
-                tids = self._catalog.tid_allocator()
-                for table, indexes, _flag in self._catalog.attach_tables():
-                    db._register(table, indexes)
-            fixup = recover_nvm(txn_table, cids, db._table_by_id)
-            report.phases.extend(fixup.phases)
-            report.txns_rolled_back = fixup.txns_rolled_back
-            report.txns_rolled_forward = fixup.txns_rolled_forward
-            report.tables = len(db._tables_by_id)
-            self._pool.mark_opened()
-            db._manager = TransactionManager(
-                txn_table, cids, tids, db._table_by_id, wal=None
-            )
         except Exception:
             # Never leak the mmapped extents of a pool we failed to
             # attach to (corrupt header, missing catalog root, ...).
@@ -286,26 +288,33 @@ class LogDriver(VolatileDriver):
 
     def open(self, db: "Database") -> RecoveryReport:
         self._db = db
-        self.backend = db.backend = VolatileBackend()
-        tables, last_cid, next_table_id, end_lsn, report = recover_log(
-            self.checkpoint_path, self.log_path, self.backend
-        )
-        for table in tables.values():
-            db._register(table, {})
-        self._next_table_id = next_table_id
-        # A real power failure can leave garbage (or a half-written
-        # record) past the last valid frame. Drop that torn tail before
-        # reopening the log for append: records appended after garbage
-        # would be unreachable to every future replay, silently losing
-        # the transactions they describe.
-        self._drop_torn_tail(end_lsn)
-        self._wal = LogWriter(self.log_path, self.config.group_commit_size)
-        db._manager = self._volatile_manager(
-            db, last_cid=last_cid, first_tid=self._max_logged_tid() + 1, wal=self._wal
-        )
-        with PhaseTimer(report, "index_rebuild"):
-            self._rebuild_declared_indexes(db)
-        report.tables = len(db._tables_by_id)
+        report = RecoveryReport(mode="log")
+        with report.span:
+            self.backend = db.backend = VolatileBackend()
+            tables, last_cid, next_table_id, end_lsn, _ = recover_log(
+                self.checkpoint_path, self.log_path, self.backend, report=report
+            )
+            for table in tables.values():
+                db._register(table, {})
+            self._next_table_id = next_table_id
+            with report.phase("log_reopen"):
+                # A real power failure can leave garbage (or a
+                # half-written record) past the last valid frame. Drop
+                # that torn tail before reopening the log for append:
+                # records appended after garbage would be unreachable to
+                # every future replay, silently losing the transactions
+                # they describe.
+                self._drop_torn_tail(end_lsn)
+                self._wal = LogWriter(self.log_path, self.config.group_commit_size)
+                db._manager = self._volatile_manager(
+                    db,
+                    last_cid=last_cid,
+                    first_tid=self._max_logged_tid() + 1,
+                    wal=self._wal,
+                )
+            with report.phase("index_rebuild"):
+                self._rebuild_declared_indexes(db)
+            report.tables = len(db._tables_by_id)
         return report
 
     def _drop_torn_tail(self, end_lsn: int) -> None:
@@ -388,6 +397,7 @@ class LogDriver(VolatileDriver):
         db = self._db
         if db._manager.active_count:
             raise RuntimeError("cannot checkpoint with active transactions")
+        t0 = time.perf_counter()
         self._wal.sync()
         data = CheckpointData(
             last_cid=db._manager.last_cid,
@@ -395,7 +405,14 @@ class LogDriver(VolatileDriver):
             next_table_id=self._next_table_id,
             tables=[snapshot_table(t) for t in db._tables_by_id.values()],
         )
-        return write_checkpoint(data, self.checkpoint_path)
+        written = write_checkpoint(data, self.checkpoint_path)
+        registry = get_registry()
+        registry.counter("engine_checkpoints_total").inc()
+        registry.counter("engine_checkpoint_bytes_total").inc(written)
+        registry.histogram("engine_checkpoint_seconds").observe(
+            time.perf_counter() - t0
+        )
+        return written
 
     def close(self) -> None:
         if self._wal is not None:

@@ -44,6 +44,8 @@ import numpy as np
 
 from repro.core.config import EngineConfig
 from repro.core.database import Database, SchemaLike, _coerce_schema
+from repro.obs import get_registry
+from repro.obs.trace import Span
 from repro.query.predicate import Predicate
 from repro.query.scan import ScanResult
 from repro.recovery.report import ShardedRecoveryReport
@@ -168,16 +170,23 @@ class ShardedEngine:
             max_workers=self.num_shards, thread_name_prefix="shard"
         )
         shard_config = replace(self.config, shards=1)
-        start = time.perf_counter()
-        self.shards: list[Database] = self._fan_out(
-            lambda i: Database(shard_dir(path, i), shard_config),
-            range(self.num_shards),
-        )
-        wall = time.perf_counter() - start
+        span = Span(f"recovery:sharded:{self.mode.value}")
+        with span:
+            self.shards: list[Database] = self._fan_out(
+                lambda i: Database(shard_dir(path, i), shard_config),
+                range(self.num_shards),
+                op="open",
+            )
+        # Graft each shard's recovery tree under the fan-out span: the
+        # shards recovered on worker threads, so their roots were
+        # detached until now. Children overlap in time — the tree shows
+        # per-shard wall while the root shows the parallel wall.
+        span.children.extend(s.last_recovery.span for s in self.shards)
         self.last_recovery = ShardedRecoveryReport(
             mode=self.mode.value,
             shard_reports=[s.last_recovery for s in self.shards],
-            wall_seconds=wall,
+            wall_seconds=span.duration_s,
+            span=span,
         )
         # Global commit-id horizon: every cross-shard batch gets one cid
         # above everything any shard has committed so far.
@@ -222,11 +231,39 @@ class ShardedEngine:
     # Routing
     # ------------------------------------------------------------------
 
-    def _fan_out(self, fn: Callable[..., T], items) -> list[T]:
-        """Apply ``fn`` to every item on the shard thread pool."""
+    def _fan_out(self, fn: Callable[..., T], items, op: str = "other") -> list[T]:
+        """Apply ``fn`` to every item on the shard thread pool.
+
+        Each item's pool wait and execution time feed the
+        ``shard_fanout_queue_seconds`` / ``shard_fanout_exec_seconds``
+        histograms (labelled by ``op``), so queueing delay — shards
+        outnumbering pool workers, or a straggler shard — is visible
+        separately from shard work itself.
+        """
+        registry = get_registry()
+        queue_h = registry.histogram("shard_fanout_queue_seconds", op=op)
+        exec_h = registry.histogram("shard_fanout_exec_seconds", op=op)
         if self.num_shards == 1:
-            return [fn(item) for item in items]
-        return list(self._executor.map(fn, items))
+            out = []
+            for item in items:
+                queue_h.observe(0.0)
+                t0 = time.perf_counter()
+                out.append(fn(item))
+                exec_h.observe(time.perf_counter() - t0)
+            return out
+
+        def run(item: T, submitted: float) -> T:
+            t0 = time.perf_counter()
+            queue_h.observe(t0 - submitted)
+            result = fn(item)
+            exec_h.observe(time.perf_counter() - t0)
+            return result
+
+        futures = [
+            self._executor.submit(run, item, time.perf_counter())
+            for item in items
+        ]
+        return [f.result() for f in futures]
 
     def partition_key(self, table_name: str) -> str:
         """The column a table is hash-partitioned by."""
@@ -329,7 +366,7 @@ class ShardedEngine:
             shard.insert_many(table_name, sub)
             return shard.last_cid
 
-        cids = self._fan_out(run, groups)
+        cids = self._fan_out(run, groups, op="insert_many")
         self._last_cid = max(self._last_cid, *cids)
         return len(rows)
 
@@ -348,6 +385,7 @@ class ShardedEngine:
                 table_name, item[1], _cid=cid
             ),
             groups,
+            op="bulk_insert",
         )
         self._last_cid = cid
         return cid
@@ -362,7 +400,9 @@ class ShardedEngine:
         """Fan the scan out to every shard; merge lazily."""
         return ShardedResult(
             self._fan_out(
-                lambda shard: shard.query(table_name, predicate), self.shards
+                lambda shard: shard.query(table_name, predicate),
+                self.shards,
+                op="query",
             )
         )
 
@@ -372,11 +412,15 @@ class ShardedEngine:
 
     def merge(self, table_name: str) -> None:
         """Merge the table's delta into main on every shard (parallel)."""
-        self._fan_out(lambda shard: shard.merge(table_name), self.shards)
+        self._fan_out(lambda shard: shard.merge(table_name), self.shards, op="merge")
 
     def checkpoint(self) -> int:
         """LOG mode: checkpoint every shard; returns total bytes written."""
-        return sum(self._fan_out(lambda shard: shard.checkpoint(), self.shards))
+        return sum(
+            self._fan_out(
+                lambda shard: shard.checkpoint(), self.shards, op="checkpoint"
+            )
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -440,6 +484,25 @@ class ShardedEngine:
             "conflicts": sum(s["conflicts"] for s in per_shard),
             "per_shard": per_shard,
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Process metrics plus per-shard driver telemetry.
+
+        Mirrors :meth:`Database.metrics_snapshot` at the engine level:
+        the process registry snapshot (which already includes the
+        fan-out queue/exec histograms and persistence-event counters),
+        per-shard driver accounting, and the last parallel recovery's
+        span tree.
+        """
+        out = {
+            "mode": self.mode.value,
+            "shards": self.num_shards,
+            "registry": get_registry().snapshot(),
+            "driver": [shard._driver.extra_stats() for shard in self.shards],
+        }
+        if self.last_recovery is not None:
+            out["recovery"] = self.last_recovery.as_dict()
+        return out
 
     def logical_bytes(self) -> int:
         return sum(shard.logical_bytes() for shard in self.shards)

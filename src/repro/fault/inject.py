@@ -3,8 +3,10 @@
 ALICE-style systematic crash-state construction (Pillai et al., OSDI
 2014): every event after which state may become durable — a cache-line
 flush, a persist barrier, a WAL fsync, a checkpoint fsync — is a *crash
-point*. The :class:`CrashPointInjector` hooks the persistence-event
-stream exposed by :mod:`repro.nvm.latency`; in counting mode it
+point*. The :class:`CrashPointInjector` hooks the persistence-boundary
+event stream owned by :mod:`repro.obs.boundary` (the same choke point
+that feeds the metrics registry, so the counts enumerated here and the
+telemetry counters observe identical streams); in counting mode it
 enumerates the points of a workload, in trigger mode it raises
 :class:`SimulatedPowerFailure` at a chosen point, *before* that event
 takes effect, and at every event after it (the power stays off), so
@@ -17,7 +19,7 @@ import threading
 from collections import Counter
 from typing import Optional
 
-from repro.nvm.latency import set_persistence_hook
+from repro.obs.boundary import set_hook as set_persistence_hook
 
 
 class SimulatedPowerFailure(BaseException):

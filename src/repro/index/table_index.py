@@ -7,9 +7,6 @@ generation); the delta half is maintained per insert.
 
 from __future__ import annotations
 
-from typing import Optional
-
-import numpy as np
 
 from repro.index.delta_index import (
     DeltaIndex,

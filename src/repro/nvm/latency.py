@@ -20,7 +20,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+
+from repro.obs import boundary
 
 # ----------------------------------------------------------------------
 # Persistence-boundary instrumentation
@@ -28,34 +29,15 @@ from typing import Callable, Optional
 #
 # Every event after which state may become durable — a cache-line flush,
 # a persist barrier (drain), a WAL fsync, a checkpoint fsync — reports
-# through this module-level hook. The crash-point sweep harness
-# (:mod:`repro.fault`) installs a hook that counts events and raises a
-# simulated power failure at a chosen point; with no hook installed the
-# cost is one None check per event.
+# through :mod:`repro.obs.boundary`, the single emission point feeding
+# both the process metrics registry (persistence_events_total{kind})
+# and the fault-injection hook the crash-point sweep installs. The
+# aliases below keep this module the import surface the persistence
+# layers and tests have always used.
 
-_persistence_hook: Optional[Callable[[str], None]] = None
-
-
-def set_persistence_hook(hook: Optional[Callable[[str], None]]) -> None:
-    """Install (or, with ``None``, remove) the global persistence hook.
-
-    The hook receives the event kind (``"flush"``, ``"drain"``,
-    ``"wal_fsync"``, ``"checkpoint_fsync"``) *before* the event takes
-    effect, and may raise to simulate a power failure at that boundary.
-    """
-    global _persistence_hook
-    _persistence_hook = hook
-
-
-def get_persistence_hook() -> Optional[Callable[[str], None]]:
-    return _persistence_hook
-
-
-def persistence_event(kind: str) -> None:
-    """Report one persistence-boundary event to the installed hook."""
-    hook = _persistence_hook
-    if hook is not None:
-        hook(kind)
+set_persistence_hook = boundary.set_hook
+get_persistence_hook = boundary.get_hook
+persistence_event = boundary.emit
 
 
 @dataclass

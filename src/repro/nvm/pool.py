@@ -35,8 +35,26 @@ from repro.nvm.latency import (
     busy_wait_ns,
     persistence_event,
 )
+from repro.obs import get_registry
+from repro.obs import metrics as _metrics
 
 CACHE_LINE = 64
+
+# Process-wide line counter, cached (as a bound ``inc``) per registry
+# generation so the flush hot path pays two global reads and one deque
+# append instead of a registry lookup per call (the per-pool breakdown
+# stays in ``NvmStats``).
+_lines_inc = None
+_lines_counter_generation = -1
+
+
+def _lines_flushed_inc():
+    global _lines_inc, _lines_counter_generation
+    gen = _metrics.generation()
+    if gen != _lines_counter_generation:
+        _lines_inc = get_registry().counter("nvm_lines_flushed_total").inc
+        _lines_counter_generation = gen
+    return _lines_inc
 
 _MAGIC = 0x48595249_53454E56  # "HYRISENV"
 _VERSION = 1
@@ -414,6 +432,10 @@ class PMemPool:
         n_lines = (last - first) // CACHE_LINE + 1
         self.stats.lines_flushed += n_lines
         self.stats.flush_calls += 1
+        if _lines_counter_generation == _metrics._generation:
+            _lines_inc(n_lines)
+        else:
+            _lines_flushed_inc()(n_lines)
         if self._mode is PMemMode.STRICT:
             undo = self._undo
             for line in range(first, last + CACHE_LINE, CACHE_LINE):

@@ -1,0 +1,49 @@
+"""Serializers for registry snapshots: Prometheus text format and JSON."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import Histogram, MetricsRegistry, _label_str
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def _prom_value(value) -> str:
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus text exposition format.
+
+    Counters and gauges render one sample per label set; histograms
+    render the standard ``_bucket``/``_sum``/``_count`` triplet with
+    cumulative ``le`` buckets.
+    """
+    with registry._lock:
+        families = [
+            (name, registry._kinds[name], sorted(family.items()))
+            for name, family in sorted(registry._families.items())
+        ]
+    lines: list[str] = []
+    for name, kind, series in families:
+        lines.append(f"# TYPE {name} {kind}")
+        for key, instrument in series:
+            labels = dict(key)
+            if isinstance(instrument, Histogram):
+                snap = instrument.snapshot()
+                for bound, cumulative in snap["buckets"].items():
+                    le = "+Inf" if bound == "+Inf" else _prom_value(float(bound))
+                    bucket_key = _label_str(tuple(sorted({**labels, "le": le}.items())))
+                    lines.append(f"{name}_bucket{bucket_key} {cumulative}")
+                suffix = _label_str(key)
+                lines.append(f"{name}_sum{suffix} {_prom_value(snap['sum'])}")
+                lines.append(f"{name}_count{suffix} {snap['count']}")
+            else:
+                lines.append(f"{name}{_label_str(key)} {_prom_value(instrument.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")

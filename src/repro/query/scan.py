@@ -14,7 +14,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.query.predicate import Between, Eq, Ge, Gt, IsNull, Le, Lt, Predicate
-from repro.storage.table import _DELTA_BIT, Table, pack_rowref, unpack_rowref
+from repro.storage.table import _DELTA_BIT, Table, unpack_rowref
 from repro.txn.context import TransactionContext
 
 

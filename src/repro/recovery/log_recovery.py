@@ -14,8 +14,9 @@ Three O(data) phases, timed separately for experiment E2:
 from __future__ import annotations
 
 import os
+from typing import Optional
 
-from repro.recovery.report import PhaseTimer, RecoveryReport
+from repro.recovery.report import RecoveryReport
 from repro.storage.backend import VolatileBackend
 from repro.storage.table import Table
 from repro.txn.manager import apply_operations, rollback_operations
@@ -42,18 +43,23 @@ def recover_log(
     checkpoint_path: str,
     log_path: str,
     backend: VolatileBackend,
+    report: Optional[RecoveryReport] = None,
 ) -> tuple[dict[int, Table], int, int, int, RecoveryReport]:
     """Rebuild database state from checkpoint + log.
 
     Returns (tables by id, last_cid, next_table_id, end_lsn, report).
+    Pass ``report`` to record the phases under an enclosing recovery's
+    span tree (the driver does); otherwise a standalone report is
+    created.
     """
-    report = RecoveryReport(mode="log")
+    if report is None:
+        report = RecoveryReport(mode="log")
     tables: dict[int, Table] = {}
     last_cid = 0
     next_table_id = 1
     start_lsn = 0
 
-    with PhaseTimer(report, "checkpoint_load"):
+    with report.phase("checkpoint_load"):
         if os.path.exists(checkpoint_path):
             data = read_checkpoint(checkpoint_path)
             report.checkpoint_bytes = os.path.getsize(checkpoint_path)
@@ -64,7 +70,7 @@ def recover_log(
                 tables[snapshot.table_id] = restore_table(snapshot, backend)
 
     end_lsn = start_lsn
-    with PhaseTimer(report, "log_replay"):
+    with report.phase("log_replay"):
         in_flight: dict[int, list[tuple[int, int, int]]] = {}
         for record, lsn in read_log(log_path, start_lsn):
             end_lsn = lsn

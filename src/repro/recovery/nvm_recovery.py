@@ -15,9 +15,9 @@ never to the dataset.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
 
-from repro.recovery.report import PhaseTimer, RecoveryReport
+from repro.recovery.report import RecoveryReport
 from repro.storage.table import Table
 from repro.txn.manager import apply_operations, rollback_operations
 from repro.txn.txn_table import (
@@ -31,14 +31,19 @@ def recover_nvm(
     txn_table: PersistentTxnTable,
     cid_store,
     table_lookup: Callable[[int], Table],
+    report: Optional[RecoveryReport] = None,
 ) -> RecoveryReport:
     """Run the transaction fix-up pass; returns the timing report.
 
     ``cid_store`` is advanced past any commit id that was durable in a
-    COMMITTING slot but not yet reflected in the root block.
+    COMMITTING slot but not yet reflected in the root block. Pass
+    ``report`` to record the fix-up as a phase of an enclosing
+    recovery's span tree (the driver does); otherwise a standalone
+    report is created.
     """
-    report = RecoveryReport(mode="nvm")
-    with PhaseTimer(report, "txn_fixup"):
+    if report is None:
+        report = RecoveryReport(mode="nvm")
+    with report.phase("txn_fixup"):
         for slot, state, _tid, cid in list(txn_table.in_flight()):
             records = txn_table.records(slot)
             if state == SLOT_ACTIVE:

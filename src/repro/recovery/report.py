@@ -1,17 +1,33 @@
-"""Structured timing report for a recovery run (experiment E2)."""
+"""Structured timing report for a recovery run (experiment E2).
+
+Each report is backed by a real :class:`~repro.obs.trace.Span` tree:
+the driver wraps its whole ``open`` in the report's root span and each
+recovery phase is a child span, so ``phases`` / ``total_seconds`` are
+views over measured spans rather than hand-rolled timers, and the full
+tree (with nesting and per-phase offsets) is available for rendering
+via ``report.span``.
+"""
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
+
+from repro.obs.trace import Span, trace_phase
 
 
 @dataclass
 class RecoveryReport:
-    """Per-phase durations and counters for one recovery."""
+    """Per-phase durations and counters for one recovery.
+
+    ``span`` is the root of the phase tree; its direct children are the
+    recovery phases. The driver that owns the recovery enters the root
+    span around the whole procedure, so ``total_seconds`` is the
+    measured wall time of ``open`` once recovery finishes (and the sum
+    of phase durations until then).
+    """
 
     mode: str
-    phases: list[tuple[str, float]] = field(default_factory=list)
+    span: Span = field(default_factory=lambda: Span("recovery"))
     tables: int = 0
     rows_recovered: int = 0
     txns_rolled_back: int = 0
@@ -19,18 +35,33 @@ class RecoveryReport:
     log_records_replayed: int = 0
     checkpoint_bytes: int = 0
 
+    def __post_init__(self) -> None:
+        if self.span.name == "recovery":
+            self.span.name = f"recovery:{self.mode}"
+
+    @property
+    def phases(self) -> list[tuple[str, float]]:
+        return self.span.phase_items()
+
     @property
     def total_seconds(self) -> float:
-        return sum(seconds for _, seconds in self.phases)
+        if self.span.finished:
+            return self.span.duration_s
+        return self.span.child_seconds()
 
     def phase_seconds(self, name: str) -> float:
         return sum(seconds for phase, seconds in self.phases if phase == name)
+
+    def phase(self, name: str, **meta):
+        """Open a child span for one recovery phase (context manager)."""
+        return trace_phase(name, parent=self.span, **meta)
 
     def as_dict(self) -> dict:
         return {
             "mode": self.mode,
             "total_seconds": self.total_seconds,
             "phases": dict(self.phases),
+            "span": self.span.as_dict(),
             "tables": self.tables,
             "rows_recovered": self.rows_recovered,
             "txns_rolled_back": self.txns_rolled_back,
@@ -48,11 +79,14 @@ class ShardedRecoveryReport:
     the *wall clock* of the parallel fan-out, while ``serial_seconds``
     (the sum of per-shard totals) is what a one-thread recovery of the
     same shards would have cost; their ratio is the parallel speedup.
+    ``span`` (when set by the engine) is the fan-out's own span, with
+    each shard's recovery tree grafted under it.
     """
 
     mode: str
     shard_reports: list = field(default_factory=list)
     wall_seconds: float = 0.0
+    span: Span | None = None
 
     @property
     def shards(self) -> int:
@@ -117,7 +151,7 @@ class ShardedRecoveryReport:
         return lines
 
     def as_dict(self) -> dict:
-        return {
+        out = {
             "mode": self.mode,
             "shards": self.shards,
             "wall_seconds": self.wall_seconds,
@@ -125,21 +159,27 @@ class ShardedRecoveryReport:
             "parallel_speedup": self.parallel_speedup,
             "per_shard": [r.as_dict() for r in self.shard_reports],
         }
+        if self.span is not None:
+            out["span"] = self.span.as_dict()
+        return out
 
 
 class PhaseTimer:
-    """Context-manager helper appending a timed phase to a report."""
+    """Context-manager helper timing one phase of a report.
+
+    Back-compat shim over the span tree: entering opens a child span of
+    ``report.span`` and exiting finishes it.
+    """
 
     def __init__(self, report: RecoveryReport, name: str):
-        self._report = report
-        self._name = name
-        self._start = 0.0
+        self._span = Span(name)
+        report.span.children.append(self._span)
 
     def __enter__(self) -> "PhaseTimer":
-        self._start = time.perf_counter()
+        self._span.start()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._report.phases.append(
-            (self._name, time.perf_counter() - self._start)
-        )
+        if exc is not None and self._span.error is None:
+            self._span.error = f"{exc_type.__name__}: {exc}"
+        self._span.finish()

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import trace_phase
 from repro.storage.backend import Backend
 from repro.storage.delta import DeltaPartition
 from repro.storage.dictionary import SortedDictionary
@@ -73,63 +74,66 @@ def merge_table(
     delta = table.delta
     schema = table.schema
 
-    main_mask = _survivor_mask(main.mvcc)
-    delta_mask = _survivor_mask(delta.mvcc)
-    main_begin = main.mvcc.begin_array()[main_mask]
-    delta_begin = delta.mvcc.begin_array()[delta_mask]
-    begin_cids = np.concatenate([main_begin, delta_begin])
+    with trace_phase("survivor_scan"):
+        main_mask = _survivor_mask(main.mvcc)
+        delta_mask = _survivor_mask(delta.mvcc)
+        main_begin = main.mvcc.begin_array()[main_mask]
+        delta_begin = delta.mvcc.begin_array()[delta_mask]
+        begin_cids = np.concatenate([main_begin, delta_begin])
     end_cids = np.full(begin_cids.size, INFINITY_CID, dtype=np.uint64)
 
     new_dicts: list[SortedDictionary] = []
     new_codes: list[np.ndarray] = []
-    for ci, col in enumerate(schema):
-        main_col = main.columns[ci]
-        main_codes = main_col.codes()[main_mask]
-        delta_codes = delta.column_codes(ci)[delta_mask]
+    with trace_phase("merge_columns", columns=len(schema)):
+        for ci, col in enumerate(schema):
+            main_col = main.columns[ci]
+            main_codes = main_col.codes()[main_mask]
+            delta_codes = delta.column_codes(ci)[delta_mask]
 
-        values = _referenced_values(
-            main_col.dictionary, main_codes, main_col.null_code
-        )
-        values.update(
-            _referenced_values(delta.dictionaries[ci], delta_codes, NULL_CODE)
-        )
-        sorted_values = _sorted_domain(col.dtype, values)
-        new_dict = SortedDictionary.build(col.dtype, backend, sorted_values)
-
-        main_map = _code_mapping(
-            main_col.dictionary,
-            len(main_col.dictionary),
-            new_dict,
-            main_col.null_code,
-            np.unique(main_codes),
-        )
-        merged_main = main_map[main_codes]
-
-        new_null = len(new_dict)
-        merged_delta = np.full(delta_codes.size, new_null, dtype=np.uint32)
-        non_null = delta_codes != NULL_CODE
-        if non_null.any():
-            delta_dict = delta.dictionaries[ci]
-            delta_map = _code_mapping(
-                delta_dict,
-                len(delta_dict),
-                new_dict,
-                NULL_CODE,
-                np.unique(delta_codes[non_null]),
+            values = _referenced_values(
+                main_col.dictionary, main_codes, main_col.null_code
             )
-            merged_delta[non_null] = delta_map[delta_codes[non_null]]
+            values.update(
+                _referenced_values(delta.dictionaries[ci], delta_codes, NULL_CODE)
+            )
+            sorted_values = _sorted_domain(col.dtype, values)
+            new_dict = SortedDictionary.build(col.dtype, backend, sorted_values)
 
-        new_dicts.append(new_dict)
-        new_codes.append(np.concatenate([merged_main, merged_delta]))
+            main_map = _code_mapping(
+                main_col.dictionary,
+                len(main_col.dictionary),
+                new_dict,
+                main_col.null_code,
+                np.unique(main_codes),
+            )
+            merged_main = main_map[main_codes]
 
-    new_main = MainPartition.build(
-        schema, backend, new_dicts, new_codes, begin_cids, end_cids
-    )
-    new_delta = DeltaPartition.create(
-        schema,
-        backend,
-        persistent_dict_index=_uses_persistent_index(delta),
-    )
+            new_null = len(new_dict)
+            merged_delta = np.full(delta_codes.size, new_null, dtype=np.uint32)
+            non_null = delta_codes != NULL_CODE
+            if non_null.any():
+                delta_dict = delta.dictionaries[ci]
+                delta_map = _code_mapping(
+                    delta_dict,
+                    len(delta_dict),
+                    new_dict,
+                    NULL_CODE,
+                    np.unique(delta_codes[non_null]),
+                )
+                merged_delta[non_null] = delta_map[delta_codes[non_null]]
+
+            new_dicts.append(new_dict)
+            new_codes.append(np.concatenate([merged_main, merged_delta]))
+
+    with trace_phase("build_generation"):
+        new_main = MainPartition.build(
+            schema, backend, new_dicts, new_codes, begin_cids, end_cids
+        )
+        new_delta = DeltaPartition.create(
+            schema,
+            backend,
+            persistent_dict_index=_uses_persistent_index(delta),
+        )
     return new_main, new_delta
 
 

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from typing import Optional, Sequence
 
 from repro.nvm.latency import persistence_event
+from repro.obs import generation, get_registry
 from repro.storage.types import Value
 from repro.wal.records import (
     AbortRecord,
@@ -48,6 +50,16 @@ class LogWriter:
         self.syncs = 0
         self.bytes_written = os.path.getsize(path)
         self._synced_lsn = self.bytes_written
+        self._instruments_generation = -1
+        self._refresh_instruments()
+
+    def _refresh_instruments(self) -> None:
+        """(Re)bind cached metric handles to the current registry."""
+        registry = get_registry()
+        self._records_counter = registry.counter("wal_records_total")
+        self._bytes_counter = registry.counter("wal_bytes_written_total")
+        self._fsync_histogram = registry.histogram("wal_fsync_seconds")
+        self._instruments_generation = generation()
 
     @property
     def path(self) -> str:
@@ -63,14 +75,22 @@ class LogWriter:
         self._file.write(frame)
         self.bytes_written += len(frame)
         self.records_written += 1
+        if self._instruments_generation != generation():
+            self._refresh_instruments()
+        self._records_counter.inc()
+        self._bytes_counter.inc(len(frame))
 
     def sync(self) -> None:
         """Force everything written so far to stable storage."""
         # Crash-point boundary: a simulated power failure raised here
         # means nothing past the previous sync became durable.
         persistence_event("wal_fsync")
+        t0 = time.perf_counter()
         self._file.flush()
         os.fsync(self._file.fileno())
+        if self._instruments_generation != generation():
+            self._refresh_instruments()
+        self._fsync_histogram.observe(time.perf_counter() - t0)
         self.syncs += 1
         self._pending_commits = 0
         self._synced_lsn = self.bytes_written

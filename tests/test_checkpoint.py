@@ -1,6 +1,5 @@
 """Unit tests for checkpoint snapshot/restore and the file format."""
 
-import numpy as np
 import pytest
 
 from repro.storage.backend import VolatileBackend

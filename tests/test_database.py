@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.core.config import DurabilityMode, EngineConfig
-from repro.core.database import Database
 from repro.query.predicate import Between, Eq, IsNull
 from repro.storage.types import DataType
 from repro.txn.errors import TransactionConflict

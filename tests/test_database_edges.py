@@ -4,8 +4,8 @@ import os
 
 import pytest
 
-from repro.core.config import DurabilityMode, EngineConfig
-from repro.core.database import Database, Transaction, _coerce_schema
+from repro.core.config import DurabilityMode
+from repro.core.database import Database, _coerce_schema
 from repro.storage.schema import ColumnDef, Schema
 from repro.storage.types import DataType
 from repro.txn.errors import TooManyActiveTransactions

@@ -1,11 +1,10 @@
 """Unit tests for the merge process."""
 
-import numpy as np
 import pytest
 
 from repro.storage.backend import NvmBackend, VolatileBackend
 from repro.storage.merge import merge_table
-from repro.storage.mvcc import INFINITY_CID, NO_TID
+from repro.storage.mvcc import NO_TID
 from repro.storage.schema import Schema
 from repro.storage.table import Table
 from repro.storage.types import DataType

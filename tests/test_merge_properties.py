@@ -1,7 +1,6 @@
 """Property: merging never changes what any future snapshot can see."""
 
-import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import given, settings, strategies as st
 
 from repro.storage.backend import VolatileBackend
 from repro.storage.merge import merge_table

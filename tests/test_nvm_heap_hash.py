@@ -1,6 +1,5 @@
 """Unit tests for the blob heap and the persistent hash multimap."""
 
-import pytest
 
 from repro.nvm.pheap import PHeap
 from repro.nvm.phash import PHashMap

@@ -5,7 +5,7 @@ import pytest
 
 from repro.nvm.errors import PoolCorruptError, PoolFullError, PoolModeError
 from repro.nvm.latency import LatencyModel
-from repro.nvm.pool import CACHE_LINE, HEADER_SIZE, PMemMode, PMemPool
+from repro.nvm.pool import HEADER_SIZE, PMemMode, PMemPool
 
 EXTENT = 2 * 1024 * 1024
 

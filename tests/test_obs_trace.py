@@ -1,0 +1,128 @@
+"""Span trees and trace_phase: nesting, ambient stacks, rendering."""
+
+import threading
+
+import pytest
+
+from repro.obs.trace import Span, current_span, trace_phase
+
+
+class TestSpan:
+    def test_lifecycle_and_duration(self):
+        span = Span("work")
+        assert not span.finished
+        assert span.duration_s == 0.0
+        with span:
+            assert not span.finished
+            assert span.duration_s >= 0.0
+        assert span.finished
+        assert span.duration_s > 0.0
+
+    def test_child_helpers(self):
+        root = Span("root").start()
+        a = root.child("a")
+        b = root.child("b", table="items")
+        with a:
+            pass
+        with b:
+            pass
+        root.finish()
+        assert [name for name, _ in root.phase_items()] == ["a", "b"]
+        assert root.child_seconds() == pytest.approx(
+            a.duration_s + b.duration_s
+        )
+        assert b.meta == {"table": "items"}
+
+    def test_find_and_walk(self):
+        root = Span("root")
+        mid = root.child("mid")
+        leaf = mid.child("leaf")
+        assert root.find("leaf") is leaf
+        assert root.find("missing") is None
+        assert [s.name for s in root.walk()] == ["root", "mid", "leaf"]
+
+    def test_error_capture(self):
+        span = Span("doomed")
+        with pytest.raises(RuntimeError):
+            with span:
+                raise RuntimeError("power failure")
+        assert span.finished
+        assert span.error == "RuntimeError: power failure"
+
+    def test_as_dict_shape(self):
+        with Span("root") as root:
+            with trace_phase("phase", parent=root, rows=3):
+                pass
+        data = root.as_dict()
+        assert data["name"] == "root"
+        assert data["seconds"] == pytest.approx(root.duration_s)
+        (child,) = data["children"]
+        assert child["name"] == "phase"
+        assert child["meta"] == {"rows": 3}
+        assert child["offset_s"] >= 0.0
+
+    def test_render_tree(self):
+        with Span("recovery") as root:
+            with trace_phase("pool_open", parent=root):
+                pass
+            with trace_phase("txn_fixup", parent=root):
+                pass
+        text = root.render_tree()
+        assert text.splitlines()[0].startswith("recovery: ")
+        assert "├─ pool_open:" in text
+        assert "└─ txn_fixup:" in text
+        assert "(untraced:" in text
+
+
+class TestTracePhase:
+    def test_ambient_nesting(self):
+        assert current_span() is None
+        with trace_phase("outer") as outer:
+            assert current_span() is outer
+            with trace_phase("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+            assert outer.children == [inner]
+        assert current_span() is None
+
+    def test_explicit_parent_does_not_capture_ambient(self):
+        elsewhere = Span("elsewhere")
+        with trace_phase("outer") as outer:
+            with trace_phase("graft", parent=elsewhere) as graft:
+                pass
+        assert graft in elsewhere.children
+        assert graft not in outer.children
+
+    def test_detached_root(self):
+        with trace_phase("outer") as outer:
+            with trace_phase("loner", parent=None) as loner:
+                pass
+        assert loner not in outer.children
+
+    def test_attached_before_body_runs(self):
+        """A phase that dies mid-flight still shows up in the tree."""
+        root = Span("root").start()
+        with pytest.raises(ValueError):
+            with trace_phase("dies", parent=root):
+                raise ValueError("boom")
+        root.finish()
+        assert root.find("dies") is not None
+        assert root.find("dies").error == "ValueError: boom"
+
+    def test_thread_local_ambient_stacks(self):
+        """Worker threads build detached trees, not grafts onto ours."""
+        seen = {}
+
+        def worker():
+            seen["ambient"] = current_span()
+            with trace_phase("worker-root") as span:
+                pass
+            seen["span"] = span
+
+        with trace_phase("main-root") as root:
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert seen["ambient"] is None
+        assert seen["span"] not in root.children
+        assert seen["span"].finished

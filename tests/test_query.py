@@ -14,7 +14,6 @@ from repro.query.predicate import (
     Le,
     Lt,
     Ne,
-    Not,
     NotNull,
     Or,
 )

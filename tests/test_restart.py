@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.config import DurabilityMode
 from repro.core.database import Database
 from repro.nvm.pool import PMemMode
 from repro.query.predicate import Eq
@@ -169,14 +169,23 @@ class TestCrashRecovery:
 
     def test_recovery_report_phases(self, tmp_path):
         for mode, expected in [
-            (DurabilityMode.NVM, {"pool_open", "catalog_attach", "txn_fixup"}),
-            (DurabilityMode.LOG, {"checkpoint_load", "log_replay", "index_rebuild"}),
+            (
+                DurabilityMode.NVM,
+                {"pool_open", "catalog_attach", "txn_fixup", "finalize"},
+            ),
+            (
+                DurabilityMode.LOG,
+                {"checkpoint_load", "log_replay", "log_reopen", "index_rebuild"},
+            ),
         ]:
             db = Database(str(tmp_path / mode.value), make_config(mode))
             _fill(db, 5)
             db = db.restart()
             phases = {name for name, _ in db.last_recovery.phases}
             assert phases == expected, mode
+            # Every phase is a real measured span under the report root.
+            assert db.last_recovery.span.finished
+            assert db.last_recovery.total_seconds >= db.last_recovery.span.child_seconds()
             db.close()
 
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.config import DurabilityMode
 from repro.core.database import Database
-from repro.core.sharding import ShardedEngine, partition_of, shard_dir
+from repro.core.sharding import ShardedEngine, partition_of
 from repro.query.predicate import Between, Eq
 from repro.recovery.report import ShardedRecoveryReport
 from repro.storage.types import DataType

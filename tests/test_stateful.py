@@ -1,11 +1,9 @@
 """Stateful (rule-based) property tests for the persistent structures."""
 
 import numpy as np
-import pytest
 from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
-    initialize,
     invariant,
     precondition,
     rule,

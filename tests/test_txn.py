@@ -1,6 +1,5 @@
 """Unit tests for transaction tables, the manager, and MVCC semantics."""
 
-import numpy as np
 import pytest
 
 from repro.storage.backend import NvmBackend, VolatileBackend

@@ -1,13 +1,12 @@
 """Tests for the recovery validator, engine config, and latency model."""
 
-import numpy as np
 import pytest
 
 from repro.core.config import DurabilityMode, EngineConfig
 from repro.nvm.latency import LatencyModel, NvmStats, busy_wait_ns
 from repro.recovery.validator import validate_database, validate_table
 from repro.storage.backend import VolatileBackend
-from repro.storage.mvcc import INFINITY_CID, NO_TID
+from repro.storage.mvcc import NO_TID
 from repro.storage.schema import Schema
 from repro.storage.table import Table
 from repro.storage.types import DataType

@@ -10,7 +10,6 @@ import os
 import struct
 import tracemalloc
 
-import pytest
 
 from repro.wal.reader import CHUNK_SIZE, MAX_RECORD_BYTES, count_records, read_log
 from repro.wal.records import CommitRecord, InsertRecord, decode_record
