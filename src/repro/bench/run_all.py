@@ -5,7 +5,7 @@ Usage::
     python -m repro.bench.run_all [--quick] [--only E1,E3] [--out report.md]
 
 Runs the same experiments as ``pytest benchmarks/ --benchmark-only``
-(E1–E10) in-process and prints/saves the result tables. Every runner
+(E1–E11) in-process and prints/saves the result tables. Every runner
 exports its raw table rows: ``--json PATH`` dumps them all into one
 JSON document keyed by experiment id, and ``--json-dir DIR`` writes one
 ``BENCH_<id>.json`` per executed experiment — the CI smoke step
@@ -363,6 +363,96 @@ def run_e10(quick: bool) -> str:
     return _finish("E10", rows_out, "E10: bulk insert throughput vs batch size")
 
 
+def run_e11(quick: bool) -> str:
+    from repro.query.aggregate import aggregate, aggregate_scalar
+    from repro.query.join import hash_join, hash_join_scalar
+    from repro.storage.types import DataType
+
+    sizes = [100_000] if quick else [100_000, 1_000_000]
+    fact_schema = {
+        "id": DataType.INT64,
+        "grade": DataType.STRING,
+        "qty": DataType.INT64,
+        "score": DataType.FLOAT64,
+    }
+
+    def fact_rows(n: int, offset: int = 0) -> list[dict]:
+        return [
+            {
+                "id": offset + i,
+                "grade": f"g{(offset + i) % 16}",
+                "qty": (offset + i) % 1000,
+                "score": float((offset + i) % 997) * 0.5,
+            }
+            for i in range(n)
+        ]
+
+    rows_out = []
+    for n in sizes:
+        path = tempfile.mkdtemp(prefix="e11-")
+        try:
+            db = Database(path, _config(DurabilityMode.NONE))
+            db.create_table("fact", fact_schema)
+            merged = (n * 9 // 10 // 10_000) * 10_000
+            for lo in range(0, merged, 100_000):
+                db.bulk_insert("fact", fact_rows(min(100_000, merged - lo), lo))
+            db.merge("fact")
+            for lo in range(merged, n, 100_000):
+                db.bulk_insert("fact", fact_rows(min(100_000, n - lo), lo))
+            db.create_table(
+                "dim", {"id": DataType.INT64, "label": DataType.STRING}
+            )
+            db.bulk_insert(
+                "dim",
+                [{"id": i, "label": f"d{i % 7}"} for i in range(0, n // 10, 10)],
+            )
+
+            result = db.query("fact")
+            start = time.perf_counter()
+            aggregate_scalar(result, "sum", "score", group_by="grade")
+            agg_scalar = time.perf_counter() - start
+            start = time.perf_counter()
+            aggregate(result, "sum", "score", group_by="grade")
+            agg_vec = time.perf_counter() - start
+
+            left, right = db.query("fact"), db.query("dim")
+            start = time.perf_counter()
+            hash_join_scalar(left, right, "id")
+            join_scalar = time.perf_counter() - start
+            start = time.perf_counter()
+            hash_join(left, right, "id")
+            join_vec = time.perf_counter() - start
+
+            predicate = Between("qty", 100, 599)
+            start = time.perf_counter()
+            db.query("fact", predicate)
+            scan_cold = time.perf_counter() - start
+            scan_warm = scan_cold
+            for _ in range(3):
+                start = time.perf_counter()
+                db.query("fact", predicate)
+                scan_warm = min(scan_warm, time.perf_counter() - start)
+
+            rows_out.append(
+                {
+                    "rows": n,
+                    "agg_scalar_rows_s": n / agg_scalar,
+                    "agg_vec_rows_s": n / agg_vec,
+                    "agg_speedup": agg_scalar / agg_vec,
+                    "join_scalar_rows_s": n / join_scalar,
+                    "join_vec_rows_s": n / join_vec,
+                    "join_speedup": join_scalar / join_vec,
+                    "scan_warm_speedup": scan_cold / scan_warm,
+                }
+            )
+            db.close()
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
+    return _finish(
+        "E11", rows_out, "E11: read throughput, scalar vs vectorized (rows/s)"
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -373,6 +463,7 @@ EXPERIMENTS = {
     "E7": run_e7,
     "E9": run_e9,
     "E10": run_e10,
+    "E11": run_e11,
 }
 
 # Raw rows exported by runners that support --json (keyed by experiment).

@@ -46,6 +46,11 @@ from repro.core.config import EngineConfig
 from repro.core.database import Database, SchemaLike, _coerce_schema
 from repro.obs import get_registry
 from repro.obs.trace import Span
+from repro.query.aggregate import (
+    aggregate_partials,
+    finalize_partials,
+    merge_partials,
+)
 from repro.query.predicate import Predicate
 from repro.query.scan import ScanResult
 from repro.recovery.report import ShardedRecoveryReport
@@ -404,6 +409,34 @@ class ShardedEngine:
                 self.shards,
                 op="query",
             )
+        )
+
+    def aggregate(
+        self,
+        table_name: str,
+        func: str,
+        column: Optional[str] = None,
+        group_by: Optional[str] = None,
+        predicate: Optional[Predicate] = None,
+    ):
+        """Distributed aggregate: ship per-shard partials, not rows.
+
+        Each shard scans and reduces its slice locally (the vectorized
+        code-space kernels), returning ``O(groups)`` partial states;
+        the coordinator combines them under the aggregate merge laws —
+        counts add, sum/avg add ``(n, total)`` pairs, min/max take
+        extremes — and finalizes. Semantics match
+        ``aggregate(self.query(...), ...)`` exactly.
+        """
+
+        def run(shard: Database) -> dict:
+            return aggregate_partials(
+                shard.query(table_name, predicate), func, column, group_by
+            )
+
+        partials = self._fan_out(run, self.shards, op="aggregate")
+        return finalize_partials(
+            func, merge_partials(func, partials), group_by is not None
         )
 
     # ------------------------------------------------------------------

@@ -23,16 +23,32 @@ from repro.query.predicate import (
     Predicate,
 )
 from repro.query.scan import ScanResult, scan
-from repro.query.aggregate import aggregate
+from repro.query.aggregate import (
+    aggregate,
+    aggregate_partials,
+    aggregate_scalar,
+    finalize_partials,
+    merge_partials,
+)
 from repro.query.sort import order_by, top_k
-from repro.query.join import anti_join, hash_join, semi_join
+from repro.query.join import (
+    JoinResult,
+    anti_join,
+    hash_join,
+    hash_join_scalar,
+    join,
+    semi_join,
+)
 
 __all__ = [
     "anti_join",
     "hash_join",
+    "hash_join_scalar",
+    "join",
     "order_by",
     "semi_join",
     "top_k",
+    "JoinResult",
     "And",
     "Between",
     "Eq",
@@ -49,5 +65,9 @@ __all__ = [
     "Predicate",
     "ScanResult",
     "aggregate",
+    "aggregate_partials",
+    "aggregate_scalar",
+    "finalize_partials",
+    "merge_partials",
     "scan",
 ]

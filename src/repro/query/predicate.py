@@ -48,23 +48,59 @@ class Predicate(ABC):
 class _ColumnPredicate(Predicate):
     """Base for single-column predicates."""
 
+    #: Distinct dictionaries whose truth tables one predicate caches
+    #: (a predicate is usually scanned against one or two tables).
+    _TRUTH_CACHE_LIMIT = 8
+
     def __init__(self, column: str):
         self.column = column
+        # dictionary uid -> (dictionary length, per-code truth table).
+        # Predicates are treated as immutable after construction.
+        self._truth_cache: dict = {}
 
     def _main_codes(self, main: MainPartition, schema: Schema):
         col = schema.column_index(self.column)
         return main.columns[col], main.column_codes(col)
 
+    def _truth_table(self, dictionary) -> np.ndarray:
+        """Per-distinct-value truth table, cached per dictionary state.
+
+        Delta dictionaries are append-only, so their length is their
+        generation: a table cached at the same length is reused as-is,
+        and a grown dictionary only evaluates the new values (the old
+        prefix is unchanged). A fresh delta (after merge) has a fresh
+        uid, so stale tables can never be consulted.
+        """
+        size = len(dictionary)
+        cached = self._truth_cache.get(dictionary.uid)
+        if cached is not None and cached[0] == size:
+            return cached[1]
+        values = dictionary.values_list()
+        if cached is not None and cached[0] < size:
+            start, truth = cached
+            tail = np.fromiter(
+                (self._test(v) for v in values[start:]),
+                dtype=bool,
+                count=size - start,
+            )
+            truth = np.concatenate([truth, tail])
+        else:
+            truth = np.fromiter(
+                (self._test(v) for v in values), dtype=bool, count=size
+            )
+        if (
+            dictionary.uid not in self._truth_cache
+            and len(self._truth_cache) >= self._TRUTH_CACHE_LIMIT
+        ):
+            self._truth_cache.pop(next(iter(self._truth_cache)))
+        self._truth_cache[dictionary.uid] = (size, truth)
+        return truth
+
     def _delta_truth(self, delta: DeltaPartition, schema: Schema) -> np.ndarray:
         """Gather a per-distinct-value truth table over delta codes."""
         col = schema.column_index(self.column)
         codes = delta.column_codes(col)
-        dictionary = delta.dictionaries[col]
-        truth = np.fromiter(
-            (self._test(v) for v in dictionary.values_list()),
-            dtype=bool,
-            count=len(dictionary),
-        )
+        truth = self._truth_table(delta.dictionaries[col])
         mask = np.zeros(codes.size, dtype=bool)
         non_null = codes != NULL_CODE
         if non_null.any():
@@ -217,12 +253,21 @@ class In(_ColumnPredicate):
 
     def eval_main(self, main: MainPartition, schema: Schema) -> np.ndarray:
         column, codes = self._main_codes(main, schema)
-        mask = np.zeros(codes.size, dtype=bool)
-        for value in self.values:
-            code = column.dictionary.code_of(value)
-            if code is not None:
-                mask |= codes == np.uint32(code)
-        return mask
+        # One dictionary probe per value, then a single membership test
+        # over the code array (instead of OR-ing one full-length mask
+        # per value).
+        matching = [
+            code
+            for code in (
+                column.dictionary.code_of(value) for value in self.values
+            )
+            if code is not None
+        ]
+        if not matching:
+            return np.zeros(codes.size, dtype=bool)
+        if len(matching) == 1:
+            return codes == np.uint32(matching[0])
+        return np.isin(codes, np.asarray(matching, dtype=np.uint32))
 
 
 class IsNull(_ColumnPredicate):

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.query.predicate import Between, Eq, Ge, Gt, IsNull, Le, Lt, Predicate
 from repro.storage.table import _DELTA_BIT, Table, unpack_rowref
+from repro.storage.types import NULL_CODE
 from repro.txn.context import TransactionContext
 
 
@@ -56,6 +57,77 @@ class ScanResult:
         main_vals = self.table.main.decode_column(col, self.main_positions)
         delta_vals = self.table.delta.decode_column(col, self.delta_positions)
         return main_vals + delta_vals
+
+    def column_array(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """One column as ``(values, null_mask)`` numpy arrays.
+
+        The vectorized-kernel fast path: values never round-trip through
+        python lists. Numeric columns come back int64/float64 with an
+        undefined placeholder at NULL slots (consult the mask); string
+        columns as object arrays with ``None`` at NULL slots. Row order
+        matches :meth:`column`: main block first, then delta.
+        """
+        col = self.table.schema.column_index(name)
+        main_vals, main_nulls = self.table.main.column_array(
+            col, self.main_positions
+        )
+        delta_vals, delta_nulls = self.table.delta.column_array(
+            col, self.delta_positions
+        )
+        if main_vals.size == 0:
+            return delta_vals, delta_nulls
+        if delta_vals.size == 0:
+            return main_vals, main_nulls
+        return (
+            np.concatenate([main_vals, delta_vals]),
+            np.concatenate([main_nulls, delta_nulls]),
+        )
+
+    def column_codes(self, name: str):
+        """Per-partition dictionary codes of the result rows.
+
+        Yields ``(codes, dictionary, null_code, is_sorted)`` for the
+        main block then the delta block; ``codes`` are already gathered
+        to this result's rows, so tuples from two columns align
+        row-for-row within each partition. This is what the code-space
+        kernels (aggregate/join) consume: one decode per distinct value
+        instead of one per row.
+        """
+        col = self.table.schema.column_index(name)
+        main_col = self.table.main.columns[col]
+        yield (
+            main_col.codes()[self.main_positions],
+            main_col.dictionary,
+            main_col.null_code,
+            True,
+        )
+        yield (
+            self.table.delta.column_codes(col)[self.delta_positions],
+            self.table.delta.dictionaries[col],
+            NULL_CODE,
+            False,
+        )
+
+    def gather_column(self, name: str, indices: np.ndarray) -> list:
+        """Materialise one column for result-row ``indices``.
+
+        ``indices`` are positions into this result's row order (main
+        block first, then delta), possibly repeated and in any order —
+        the late-materialization hook for joins: only matched rows are
+        decoded.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        col = self.table.schema.column_index(name)
+        split = self.main_positions.size
+        in_main = indices < split
+        out = np.empty(indices.size, dtype=object)
+        if in_main.any():
+            rows = self.main_positions[indices[in_main]]
+            out[in_main] = self.table.main.decode_column(col, rows)
+        if not in_main.all():
+            rows = self.delta_positions[indices[~in_main] - split]
+            out[~in_main] = self.table.delta.decode_column(col, rows)
+        return out.tolist()
 
     def columns(self, names: Optional[Sequence[str]] = None) -> dict:
         """Materialise several columns as {name: values}."""

@@ -240,3 +240,23 @@ class DeltaPartition:
             codes = codes[rows]
         null_mask = codes == np.uint32(NULL_CODE)
         return self.dictionaries[col].decode_batch(codes, null_mask)
+
+    def column_array(
+        self, col: int, rows: Optional[np.ndarray] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Values for ``rows`` as ``(values, null_mask)`` numpy arrays.
+
+        Mirrors :meth:`MainPartition.column_array`: numeric columns as
+        int64/float64 with an undefined placeholder at NULL slots,
+        string columns as object arrays with ``None`` at NULL slots.
+        """
+        codes = self.column_codes(col)
+        if rows is not None:
+            codes = codes[rows]
+        null_mask = codes == np.uint32(NULL_CODE)
+        values = self.dictionaries[col].decode_array(
+            np.where(null_mask, 0, codes)
+        )
+        if values.dtype == object and null_mask.any():
+            values[null_mask] = None
+        return values, null_mask

@@ -18,6 +18,7 @@ vector; STRING values live in the blob heap with a vector of handles.
 from __future__ import annotations
 
 import hashlib
+import itertools
 from bisect import bisect_left, bisect_right
 from typing import Optional, Sequence
 
@@ -35,6 +36,14 @@ _STORAGE_DTYPE = {
     DataType.FLOAT64: np.dtype(np.float64),
     DataType.STRING: np.dtype(np.uint64),  # blob handles
 }
+
+
+#: Process-wide dictionary identity counter. Caches keyed on a
+#: dictionary (predicate truth tables, join key maps) use
+#: ``(uid, len)`` as the key: dictionaries are append-only, so their
+#: length is their generation, and a replacement dictionary (fresh
+#: delta after merge) gets a fresh uid.
+_uid_counter = itertools.count(1)
 
 
 def hash_key(dtype: DataType, value) -> int:
@@ -67,6 +76,7 @@ class UnsortedDictionary:
         self._backend = backend
         self.values = values
         self.persistent_lookup = persistent_lookup
+        self.uid = next(_uid_counter)
         self._lookup: Optional[dict] = None
         # Decode accelerators for the vectorized read path: python
         # values in code order, grown incrementally, plus a numpy
@@ -184,16 +194,13 @@ class UnsortedDictionary:
             self._decode_arr = None
         return self._decode_values
 
-    def decode_batch(self, codes: np.ndarray, null_mask: np.ndarray) -> list:
-        """Vectorized decode: code array + NULL mask -> python values.
+    def values_array(self) -> np.ndarray:
+        """Values in code order as a numpy array (int64/float64/object).
 
-        One ``np.take`` over a materialized values array replaces the
-        per-code loop; NULL positions are patched afterwards.
+        Cached alongside :meth:`_decode_table`; rebuilt only after the
+        dictionary has grown. Callers must not mutate the result.
         """
         table = self._decode_table()
-        if not table:
-            # Only possible when every code is NULL.
-            return [None] * len(codes)
         if self._decode_arr is None:
             if self.dtype is DataType.STRING:
                 self._decode_arr = np.asarray(table, dtype=object)
@@ -206,8 +213,33 @@ class UnsortedDictionary:
                         else np.float64
                     ),
                 )
+        return self._decode_arr
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        """Decode an array of valid (non-NULL) codes to a values array.
+
+        Returns a fresh, writable array; NULL handling is the caller's
+        job (pre-substitute code 0 and patch afterwards).
+        """
+        arr = self.values_array()
+        if arr.size == 0:
+            # Only reachable when every incoming code was NULL.
+            if self.dtype is DataType.STRING:
+                return np.full(len(codes), None, dtype=object)
+            return np.zeros(len(codes), dtype=arr.dtype)
+        return np.take(arr, np.asarray(codes, dtype=np.int64))
+
+    def decode_batch(self, codes: np.ndarray, null_mask: np.ndarray) -> list:
+        """Vectorized decode: code array + NULL mask -> python values.
+
+        One ``np.take`` over a materialized values array replaces the
+        per-code loop; NULL positions are patched afterwards.
+        """
+        if not self._decode_table():
+            # Only possible when every code is NULL.
+            return [None] * len(codes)
         safe = np.where(null_mask, 0, codes).astype(np.int64, copy=False)
-        out = np.take(self._decode_arr, safe).tolist()
+        out = np.take(self.values_array(), safe).tolist()
         if null_mask.any():
             for i in np.nonzero(null_mask)[0].tolist():
                 out[i] = None
@@ -322,7 +354,9 @@ class SortedDictionary:
         self.dtype = dtype
         self._backend = backend
         self.values = values
+        self.uid = next(_uid_counter)
         self._cache = None  # np.ndarray for numerics, list[str] for strings
+        self._values_arr: Optional[np.ndarray] = None
 
     @classmethod
     def build(
@@ -382,13 +416,47 @@ class SortedDictionary:
             return [int(v) for v in cache]
         return [float(v) for v in cache]
 
+    def values_array(self) -> np.ndarray:
+        """Values in code (= sorted) order as a numpy array.
+
+        int64/float64 for numerics, object for strings. The main
+        dictionary is immutable, so the array is cached for the
+        partition's lifetime. Callers must not mutate the result.
+        """
+        if self._values_arr is None:
+            cache = self._materialise()
+            if self.dtype is DataType.STRING:
+                self._values_arr = np.asarray(cache, dtype=object)
+            else:
+                self._values_arr = np.asarray(
+                    cache,
+                    dtype=(
+                        np.int64
+                        if self.dtype is DataType.INT64
+                        else np.float64
+                    ),
+                )
+        return self._values_arr
+
+    def decode_array(self, codes: np.ndarray) -> np.ndarray:
+        """Decode an array of valid (non-NULL) codes to a values array.
+
+        Returns a fresh, writable array; NULL handling is the caller's
+        job (pre-substitute code 0 and patch afterwards).
+        """
+        arr = self.values_array()
+        if arr.size == 0:
+            if self.dtype is DataType.STRING:
+                return np.full(len(codes), None, dtype=object)
+            return np.zeros(len(codes), dtype=arr.dtype)
+        return np.take(arr, np.asarray(codes, dtype=np.int64))
+
     def decode(self, codes: np.ndarray) -> list:
         """Decode an array of codes to values (projection materialise)."""
-        cache = self._materialise()
         if self.dtype is DataType.STRING:
-            return np.take(np.asarray(cache, dtype=object), codes).tolist()
+            return np.take(self.values_array(), codes).tolist()
         # ``tolist`` yields python ints/floats, matching the scalar path.
-        return np.take(cache, codes).tolist()
+        return np.take(self._materialise(), codes).tolist()
 
     # ------------------------------------------------------------------
     # Order-aware lookups (power the code-space predicates)

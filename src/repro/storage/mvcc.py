@@ -16,8 +16,11 @@ own-transaction adjustments applied by the transaction context.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
+from repro.obs import metrics as _metrics
 from repro.storage.backend import Backend
 from repro.storage.vector import VectorLike
 
@@ -28,13 +31,51 @@ INFINITY_CID = 2**64 - 1
 NO_TID = 0
 
 
+# Cached instrument handles, revalidated against the registry
+# generation (same pattern as ``repro.nvm.pool``): visible_mask runs
+# once per partition per scan, too hot for a registry lookup each time.
+_cache_hits = None
+_cache_misses = None
+_handles_generation = -1
+
+
+def _cache_counters():
+    global _cache_hits, _cache_misses, _handles_generation
+    generation = _metrics.generation()
+    if generation != _handles_generation:
+        registry = _metrics.get_registry()
+        _cache_hits = registry.counter("mvcc_cache_hits_total")
+        _cache_misses = registry.counter("mvcc_cache_misses_total")
+        _handles_generation = generation
+    return _cache_hits, _cache_misses
+
+
 class MvccColumns:
-    """The begin/end/tid vectors for one partition."""
+    """The begin/end/tid vectors for one partition.
+
+    Scans evaluate visibility against a *DRAM cache* of the begin/end
+    vectors rather than re-copying them out of the (possibly NVM-backed)
+    vectors on every scan. The cache is stamped with
+    ``(mutation count, row count)``:
+
+    * every in-place begin/end store goes through :meth:`set_begin` /
+      :meth:`set_end` / :meth:`set_begin_range` and bumps the mutation
+      count (commit and rollback fix-ups);
+    * every publish path — insert tails, bulk loads, merge builds,
+      checkpoint loads — grows the begin vector, changing the row count
+      (delta publish appends to ``self.begin`` directly, which the
+      length component still catches).
+
+    ``tid`` stores do not invalidate: visibility never reads tid.
+    """
 
     def __init__(self, begin: VectorLike, end: VectorLike, tid: VectorLike):
         self.begin = begin
         self.end = end
         self.tid = tid
+        # (stamp, begin array, end array, watermark_lo, watermark_hi)
+        self._vis_cache: Optional[tuple] = None
+        self._mutations = 0
 
     @classmethod
     def create(cls, backend: Backend, chunk_capacity: int = 8192) -> "MvccColumns":
@@ -67,9 +108,11 @@ class MvccColumns:
     # ------------------------------------------------------------------
 
     def set_begin(self, row: int, cid: int, persist: bool = True) -> None:
+        self._mutations += 1
         self.begin.set(row, cid, persist=persist)
 
     def set_end(self, row: int, cid: int, persist: bool = True) -> None:
+        self._mutations += 1
         self.end.set(row, cid, persist=persist)
 
     def set_tid(self, row: int, tid: int, persist: bool = True) -> None:
@@ -79,6 +122,7 @@ class MvccColumns:
         """Set ``begin_cid`` for a contiguous row range (one store per
         touched chunk instead of a per-row loop)."""
         if count > 0:
+            self._mutations += 1
             self.begin.set_range(first, np.full(count, cid, dtype=np.uint64))
 
     def set_tid_range(self, first: int, count: int, tid: int) -> None:
@@ -114,13 +158,49 @@ class MvccColumns:
     def tid_array(self) -> np.ndarray:
         return self.tid.to_numpy()[: self.row_count]
 
+    def _visibility_arrays(self) -> tuple:
+        """DRAM copies of begin/end plus the all-visible watermark.
+
+        Cache-hit scans touch no vector at all (zero NVM read traffic);
+        misses copy both vectors once and compute the watermark:
+        every snapshot ``S`` with ``max(begin) <= S < min(end)`` sees
+        every row, which is the steady state of a merged main partition
+        (all begins committed, all ends at infinity). Hits and misses
+        are exported as ``mvcc_cache_hits_total`` /
+        ``mvcc_cache_misses_total``.
+
+        The returned arrays are shared with the cache — callers must not
+        mutate them.
+        """
+        stamp = (self._mutations, len(self.begin))
+        cache = self._vis_cache
+        hits, misses = _cache_counters()
+        if cache is not None and cache[0] == stamp:
+            hits.inc()
+            return cache
+        misses.inc()
+        begin = self.begin.to_numpy()
+        end = self.end.to_numpy()[: begin.size]
+        if begin.size:
+            watermark_lo = int(begin.max())
+            watermark_hi = int(end.min())
+        else:
+            watermark_lo = watermark_hi = 0
+        cache = (stamp, begin, end, watermark_lo, watermark_hi)
+        self._vis_cache = cache
+        return cache
+
     def visible_mask(self, snapshot_cid: int) -> np.ndarray:
         """Boolean mask of rows visible at ``snapshot_cid``.
 
         Own-transaction effects (rows we inserted or invalidated but have
         not committed) are layered on top by the transaction context.
+        The mask is always a fresh array (callers AND predicates into it
+        in place); the begin/end sources come from the visibility cache.
         """
-        begin = self.begin_array()
-        end = self.end_array()
+        _, begin, end, watermark_lo, watermark_hi = self._visibility_arrays()
+        if watermark_lo <= snapshot_cid < watermark_hi:
+            # All-visible watermark: no per-row compares needed.
+            return np.ones(begin.size, dtype=bool)
         s = np.uint64(snapshot_cid)
         return (begin <= s) & (end > s)

@@ -1,0 +1,422 @@
+"""Vectorized read path vs the scalar reference implementations.
+
+The code-space aggregate kernels and the array-backed join must return
+results element-for-element equal to the row-at-a-time implementations
+(`aggregate_scalar`, `hash_join_scalar`) across every dtype, NULL
+placement, and physical layout (delta-only / merged / split).
+"""
+
+import pytest
+
+import numpy as np
+
+from repro.query.aggregate import (
+    aggregate,
+    aggregate_partials,
+    aggregate_scalar,
+    finalize_partials,
+    merge_partials,
+)
+from repro.query.join import (
+    anti_join,
+    hash_join,
+    hash_join_scalar,
+    join,
+    semi_join,
+)
+from repro.query.predicate import Eq, Gt, In
+from repro.query.scan import scan
+from repro.storage.backend import VolatileBackend
+from repro.storage.merge import merge_table
+from repro.storage.mvcc import NO_TID
+from repro.storage.schema import Schema
+from repro.storage.table import Table
+from repro.storage.types import DataType
+
+SCHEMA = Schema.of(
+    id=DataType.INT64,
+    grade=DataType.STRING,
+    score=DataType.FLOAT64,
+    points=DataType.INT64,
+)
+
+# Exercises: NULL group keys, all-NULL value groups, negative values,
+# duplicate values across groups, strings with NULLs.
+ROWS = [
+    (0, "a", 1.5, 10),
+    (1, "b", -2.0, None),
+    (2, "c", None, None),
+    (3, "a", 4.0, -7),
+    (4, None, 5.25, 3),
+    (5, "b", 6.0, 10),
+    (6, None, None, None),
+    (7, "c", None, 0),
+    (8, "a", 1.5, 10),
+]
+
+
+def _commit_all(table, rows, cid=1):
+    for values in rows:
+        ref = table.insert_uncommitted(list(values), tid=1)
+        mvcc, idx = table.mvcc_for(ref)
+        mvcc.set_begin(idx, cid)
+        mvcc.set_tid(idx, NO_TID)
+
+
+def _build(layout, schema=SCHEMA, rows=ROWS, name="t", table_id=1):
+    backend = VolatileBackend()
+    table = Table.create(table_id, name, schema, backend)
+    if layout == "delta_only":
+        _commit_all(table, rows)
+    elif layout == "merged":
+        _commit_all(table, rows)
+        table.main, table.delta = merge_table(table, backend)
+    else:  # split: half in main, half in delta
+        _commit_all(table, rows[: len(rows) // 2])
+        table.main, table.delta = merge_table(table, backend)
+        _commit_all(table, rows[len(rows) // 2 :])
+    return table
+
+
+@pytest.fixture(params=["delta_only", "merged", "split"])
+def table(request):
+    return _build(request.param)
+
+
+ALL_AGGREGATES = [
+    ("count", None),
+    ("count", "score"),
+    ("count", "grade"),
+    ("count", "points"),
+    ("sum", "score"),
+    ("sum", "points"),
+    ("avg", "score"),
+    ("avg", "points"),
+    ("min", "score"),
+    ("min", "points"),
+    ("min", "grade"),
+    ("max", "score"),
+    ("max", "points"),
+    ("max", "grade"),
+]
+
+
+class TestVectorizedAggregate:
+    @pytest.mark.parametrize("func,column", ALL_AGGREGATES)
+    def test_ungrouped_matches_scalar(self, table, func, column):
+        result = scan(table, snapshot_cid=10)
+        assert aggregate(result, func, column) == aggregate_scalar(
+            result, func, column
+        )
+
+    @pytest.mark.parametrize("func,column", ALL_AGGREGATES)
+    @pytest.mark.parametrize("group_by", ["grade", "points", "id"])
+    def test_grouped_matches_scalar(self, table, func, column, group_by):
+        result = scan(table, snapshot_cid=10)
+        vec = aggregate(result, func, column, group_by=group_by)
+        assert vec == aggregate_scalar(result, func, column, group_by=group_by)
+
+    def test_result_types_match_scalar(self, table):
+        result = scan(table, snapshot_cid=10)
+        for func, column in ALL_AGGREGATES:
+            vec = aggregate(result, func, column)
+            sca = aggregate_scalar(result, func, column)
+            assert type(vec) is type(sca), (func, column)
+
+    def test_empty_result(self, table):
+        result = scan(table, snapshot_cid=10, predicate=Eq("id", -999))
+        for func, column in ALL_AGGREGATES:
+            assert aggregate(result, func, column) == aggregate_scalar(
+                result, func, column
+            )
+            assert aggregate(
+                result, func, column, group_by="grade"
+            ) == aggregate_scalar(result, func, column, group_by="grade")
+
+    def test_all_null_group_appears_with_none(self, table):
+        result = scan(table, snapshot_cid=10)
+        groups = aggregate(result, "min", "score", group_by="grade")
+        assert groups["c"] is None  # both 'c' rows have NULL score
+        sums = aggregate(result, "sum", "score", group_by="grade")
+        assert sums["c"] is None
+
+    def test_null_group_key(self, table):
+        result = scan(table, snapshot_cid=10)
+        groups = aggregate(result, "sum", "score", group_by="grade")
+        assert groups[None] == 5.25
+
+    def test_sum_string_raises(self, table):
+        result = scan(table, snapshot_cid=10)
+        with pytest.raises(TypeError):
+            aggregate(result, "sum", "grade")
+        with pytest.raises(TypeError):
+            aggregate(result, "avg", "grade", group_by="points")
+
+    def test_unknown_aggregate_rejected(self, table):
+        result = scan(table, snapshot_cid=10)
+        with pytest.raises(ValueError):
+            aggregate(result, "median", "score")
+        with pytest.raises(ValueError):
+            aggregate(result, "sum")  # needs a column
+
+    def test_filtered_matches_scalar(self, table):
+        result = scan(table, snapshot_cid=10, predicate=Gt("id", 2))
+        for group_by in (None, "grade"):
+            assert aggregate(
+                result, "sum", "score", group_by=group_by
+            ) == aggregate_scalar(result, "sum", "score", group_by=group_by)
+
+    def test_partials_merge_matches_whole(self, table):
+        """Partials of two disjoint scans merge to the full answer."""
+        low = scan(table, snapshot_cid=10, predicate=In("id", range(0, 5)))
+        high = scan(table, snapshot_cid=10, predicate=In("id", range(5, 20)))
+        whole = scan(table, snapshot_cid=10)
+        for func, column in ALL_AGGREGATES:
+            for group_by in (None, "grade"):
+                merged = merge_partials(
+                    func,
+                    [
+                        aggregate_partials(low, func, column, group_by),
+                        aggregate_partials(high, func, column, group_by),
+                    ],
+                )
+                assert finalize_partials(
+                    func, merged, group_by is not None
+                ) == aggregate_scalar(whole, func, column, group_by), (
+                    func,
+                    column,
+                    group_by,
+                )
+
+
+class TestColumnArray:
+    def test_matches_column(self, table):
+        result = scan(table, snapshot_cid=10)
+        for name in SCHEMA.names:
+            values, null_mask = result.column_array(name)
+            expected = result.column(name)
+            assert null_mask.tolist() == [v is None for v in expected]
+            for got, want, is_null in zip(
+                values.tolist(), expected, null_mask.tolist()
+            ):
+                if not is_null:
+                    assert got == want
+
+    def test_numeric_dtypes(self, table):
+        result = scan(table, snapshot_cid=10)
+        values, _ = result.column_array("points")
+        assert values.dtype == np.int64
+        values, _ = result.column_array("score")
+        assert values.dtype == np.float64
+        values, null_mask = result.column_array("grade")
+        assert values.dtype == object
+        # Object arrays carry None directly at NULL slots.
+        assert all(
+            v is None for v, n in zip(values.tolist(), null_mask.tolist()) if n
+        )
+
+
+RIGHT_SCHEMA = Schema.of(
+    id=DataType.INT64, grade=DataType.STRING, label=DataType.STRING
+)
+
+RIGHT_ROWS = [
+    (0, "a", "zero"),
+    (2, "b", "two"),
+    (2, "x", "dup"),
+    (4, None, "four"),
+    (9, "c", "nine"),
+    (None, "a", "null-key"),
+]
+
+
+def _canon(rows):
+    return sorted((sorted(r.items()) for r in rows), key=repr)
+
+
+@pytest.fixture(params=["delta_only", "merged", "split"])
+def right_table(request):
+    return _build(
+        request.param, RIGHT_SCHEMA, RIGHT_ROWS, name="r", table_id=2
+    )
+
+
+class TestVectorizedJoin:
+    def test_inner_matches_scalar(self, table, right_table):
+        left = scan(table, snapshot_cid=10)
+        right = scan(right_table, snapshot_cid=10)
+        assert _canon(hash_join(left, right, "id")) == _canon(
+            hash_join_scalar(left, right, "id")
+        )
+        assert _canon(hash_join(right, left, "id")) == _canon(
+            hash_join_scalar(right, left, "id")
+        )
+
+    def test_name_collision_prefixed(self, table, right_table):
+        left = scan(table, snapshot_cid=10)
+        right = scan(right_table, snapshot_cid=10)
+        rows = hash_join(left, right, "id")
+        # id 0: left grade 'a' == right grade 'a' -> no prefix;
+        # id 2: left grade 'c' != right grades -> prefixed.
+        by_id = {}
+        for row in rows:
+            by_id.setdefault(row["id"], []).append(row)
+        assert all("r.grade" not in row for row in by_id[0])
+        assert all(row["r.grade"] in ("b", "x") for row in by_id[2])
+        assert _canon(rows) == _canon(hash_join_scalar(left, right, "id"))
+
+    def test_column_selection(self, table, right_table):
+        left = scan(table, snapshot_cid=10)
+        right = scan(right_table, snapshot_cid=10)
+        picked = hash_join(
+            left, right, "id",
+            left_columns=["id", "score"], right_columns=["id", "label"],
+        )
+        assert _canon(picked) == _canon(hash_join_scalar(
+            left, right, "id",
+            left_columns=["id", "score"], right_columns=["id", "label"],
+        ))
+
+    def test_cross_type_keys(self, table, right_table):
+        """int64 keys joining a float64 column (1 == 1.0)."""
+        left = scan(table, snapshot_cid=10)
+        right = scan(right_table, snapshot_cid=10)
+        assert _canon(hash_join(left, right, "points", "id")) == _canon(
+            hash_join_scalar(left, right, "points", "id")
+        )
+
+    def test_late_materialization(self, table, right_table):
+        left = scan(table, snapshot_cid=10)
+        right = scan(right_table, snapshot_cid=10)
+        lazy = join(left, right, "id")
+        assert len(lazy) == len(hash_join_scalar(left, right, "id"))
+        labels = right.gather_column("label", lazy.right_rows)
+        assert len(labels) == len(lazy)
+        assert _canon(lazy.rows()) == _canon(
+            hash_join_scalar(left, right, "id")
+        )
+
+    def test_semi_and_anti_match_reference(self, table, right_table):
+        left = scan(table, snapshot_cid=10)
+        right = scan(right_table, snapshot_cid=10)
+        keys = {v for v in right.column("id") if v is not None}
+        assert _canon(semi_join(left, right, "id")) == _canon(
+            [r for r in left.rows() if r["id"] in keys]
+        )
+        assert _canon(anti_join(left, right, "id")) == _canon(
+            [r for r in left.rows() if r["id"] is not None and r["id"] not in keys]
+        )
+
+    def test_semi_join_ignores_invisible_dictionary_values(self, right_table):
+        """A value in the right dictionary but filtered out of the scan
+        must not count as a match."""
+        left_table = _build("delta_only")
+        left = scan(left_table, snapshot_cid=10)
+        right = scan(
+            right_table, snapshot_cid=10, predicate=Eq("label", "nine")
+        )
+        # Only id 9 is visible on the right; no left id matches it.
+        assert semi_join(left, right, "id") == []
+        anti = anti_join(left, right, "id")
+        assert sorted(r["id"] for r in anti) == list(range(9))
+
+    def test_empty_sides(self, table, right_table):
+        left = scan(table, snapshot_cid=10)
+        empty = scan(right_table, snapshot_cid=10, predicate=Eq("id", -1))
+        assert hash_join(left, empty, "id") == []
+        assert hash_join(empty, left, "id") == []
+        assert semi_join(left, empty, "id") == []
+        assert len(anti_join(left, empty, "id")) == len(
+            [r for r in left.rows() if r["id"] is not None]
+        )
+
+
+class TestPredicateSatellites:
+    def test_in_eval_main_matches_delta_semantics(self):
+        table = _build("merged")
+        values = [0, 3, 4, 99]
+        result = scan(table, snapshot_cid=10, predicate=In("id", values))
+        assert sorted(result.column("id")) == [0, 3, 4]
+
+    def test_in_eval_main_empty_and_single(self):
+        table = _build("merged")
+        assert scan(table, snapshot_cid=10, predicate=In("id", [99])).count == 0
+        single = scan(table, snapshot_cid=10, predicate=In("id", [5]))
+        assert single.column("id") == [5]
+
+    def test_delta_truth_cache_tracks_dictionary_growth(self):
+        table = _build("delta_only")
+        predicate = Eq("grade", "z")
+        assert scan(table, snapshot_cid=10, predicate=predicate).count == 0
+        # Grow the delta dictionary with the now-matching value; the
+        # cached truth table must be extended, not reused stale.
+        _commit_all(table, [(100, "z", 1.0, 1)], cid=2)
+        result = scan(table, snapshot_cid=10, predicate=predicate)
+        assert result.column("id") == [100]
+        # And repeated evaluation (cache hit) stays correct.
+        again = scan(table, snapshot_cid=10, predicate=predicate)
+        assert again.column("id") == [100]
+
+    def test_delta_truth_cache_survives_merge(self):
+        backend = VolatileBackend()
+        table = Table.create(7, "m", SCHEMA, backend)
+        _commit_all(table, ROWS)
+        predicate = In("grade", ["a", "c"])
+        before = sorted(
+            scan(table, snapshot_cid=10, predicate=predicate).column("id")
+        )
+        table.main, table.delta = merge_table(table, backend)
+        # Fresh delta dictionary (new uid): the cache keyed on the old
+        # dictionary must not leak into the new one.
+        after = sorted(
+            scan(table, snapshot_cid=10, predicate=predicate).column("id")
+        )
+        assert before == after == [0, 2, 3, 7, 8]
+
+
+class TestShardedAggregate:
+    @pytest.fixture
+    def engine(self, tmp_path):
+        from repro.core.config import DurabilityMode, EngineConfig
+        from repro.core.sharding import ShardedEngine
+
+        engine = ShardedEngine(
+            str(tmp_path / "shards"),
+            EngineConfig(mode=DurabilityMode.NONE, shards=4),
+        )
+        engine.create_table(
+            "t",
+            {
+                "id": DataType.INT64,
+                "grade": DataType.STRING,
+                "score": DataType.FLOAT64,
+                "points": DataType.INT64,
+            },
+        )
+        engine.bulk_insert(
+            "t",
+            [
+                {"id": i, "grade": g, "score": s, "points": p}
+                for i, g, s, p in ROWS
+            ]
+            + [
+                {"id": 100 + i, "grade": "d", "score": float(i), "points": i}
+                for i in range(20)
+            ],
+        )
+        yield engine
+        engine.close()
+
+    @pytest.mark.parametrize("func,column", ALL_AGGREGATES)
+    @pytest.mark.parametrize("group_by", [None, "grade"])
+    def test_partial_merge_matches_row_shipping(
+        self, engine, func, column, group_by
+    ):
+        shipped = aggregate_scalar(
+            engine.query("t"), func, column, group_by=group_by
+        )
+        assert engine.aggregate("t", func, column, group_by=group_by) == shipped
+        # The ShardedResult entry point takes the same partial path.
+        assert aggregate(
+            engine.query("t"), func, column, group_by=group_by
+        ) == shipped
