@@ -1,0 +1,133 @@
+"""E12 — concurrent writers: group-commit scaling on a single shard.
+
+The group-commit coordinator turns the WAL fsync from a per-commit cost
+into a shared one: while the leader sleeps in fsync, other committers
+append their commit records and block on the commit barrier; the next
+leader's fsync covers them all. With a modelled fsync latency (the
+dominant cost on a real device), committed-transaction throughput must
+therefore scale with writer threads even though every transaction still
+commits durably before its ack.
+
+Two policies are swept over writer counts:
+
+* **sync** (``group_commit_size=1``): every ack waits for durability —
+  the leader/follower fsync coalescing is the entire win. The headline
+  assertions: ≥2× committed txn/s at 8 writers vs 1, and fsyncs per
+  commit < 0.5 at 8 writers (the coalescing is real, not incidental).
+* **async** (``group_commit_size=0``): acks never wait; throughput is
+  bounded by the commit pipeline itself, and the table reports the
+  acked-vs-durable gap the observability layer surfaces.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.bench.reporting import format_table
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.storage.types import DataType
+
+from benchmarks.conftest import config_for
+
+WRITER_COUNTS = [1, 2, 4, 8]
+TXNS_PER_WRITER = 24
+FSYNC_DELAY_S = 0.003  # modelled WAL device latency
+
+
+def _run_writers(
+    group_size: int, writers: int, txns: int, delay: float
+) -> dict:
+    """Committed txn/s and fsyncs/commit for ``writers`` threads.
+
+    Each thread runs ``txns`` independent autocommit inserts against the
+    *same* Database — the thread-safe commit pipeline under test.
+    """
+    path = tempfile.mkdtemp(prefix="e12-")
+    try:
+        db = Database(
+            path,
+            config_for(
+                DurabilityMode.LOG,
+                group_commit_size=group_size,
+                wal_fsync_delay_s=delay,
+            ),
+        )
+        db.create_table("t", {"k": DataType.INT64, "v": DataType.INT64})
+        base_syncs = db.stats()["wal"]["syncs"]
+        barrier = threading.Barrier(writers)
+
+        def writer(i: int) -> None:
+            barrier.wait()
+            for j in range(txns):
+                db.insert("t", {"k": i * txns + j, "v": j})
+
+        threads = [
+            threading.Thread(target=writer, args=(i,)) for i in range(writers)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - start
+        commits = writers * txns
+        assert db.query("t").count == commits
+        wal = db.stats()["wal"]
+        assert wal["commits_acked"] >= commits
+        result = {
+            "txn_s": commits / elapsed,
+            "fsyncs_per_commit": (wal["syncs"] - base_syncs) / commits,
+            "ack_gap": wal["ack_durability_gap"],
+        }
+        db.close()
+        return result
+    finally:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def test_e12_concurrent_write_scaling(experiment_report):
+    policies = [("sync", 1), ("async", 0)]
+    runs: dict[tuple[str, int], dict] = {}
+    for tag, group_size in policies:
+        for writers in WRITER_COUNTS:
+            runs[(tag, writers)] = _run_writers(
+                group_size, writers, TXNS_PER_WRITER, FSYNC_DELAY_S
+            )
+
+    rows_out = []
+    for writers in WRITER_COUNTS:
+        record = {"writers": writers}
+        for tag, _ in policies:
+            run = runs[(tag, writers)]
+            record[f"{tag}_txn_s"] = run["txn_s"]
+            record[f"{tag}_speedup"] = (
+                run["txn_s"] / runs[(tag, 1)]["txn_s"]
+            )
+            record[f"{tag}_fsyncs_per_commit"] = run["fsyncs_per_commit"]
+        record["async_ack_gap"] = runs[("async", writers)]["ack_gap"]
+        rows_out.append(record)
+
+    experiment_report(
+        format_table(
+            rows_out,
+            title=(
+                "E12: committed txn/s vs writer threads "
+                f"(single shard, fsync={FSYNC_DELAY_S * 1e3:.0f}ms)"
+            ),
+        )
+    )
+
+    # Headline claim: sync group commit amortises the fsync across
+    # concurrent committers — 8 writers beat 1 by at least 2x.
+    assert runs[("sync", 8)]["txn_s"] >= 2 * runs[("sync", 1)]["txn_s"]
+    # The mechanism, not a side effect: far fewer fsyncs than commits.
+    assert runs[("sync", 8)]["fsyncs_per_commit"] < 0.5
+    # A lone sync writer cannot amortise: one fsync per commit.
+    assert runs[("sync", 1)]["fsyncs_per_commit"] >= 0.99
+    # Async acks never wait for the device, so even one writer beats the
+    # single sync writer (whose every commit eats a full fsync delay).
+    assert runs[("async", 1)]["txn_s"] > runs[("sync", 1)]["txn_s"]

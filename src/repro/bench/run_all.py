@@ -5,7 +5,7 @@ Usage::
     python -m repro.bench.run_all [--quick] [--only E1,E3] [--out report.md]
 
 Runs the same experiments as ``pytest benchmarks/ --benchmark-only``
-(E1–E11) in-process and prints/saves the result tables. Every runner
+(E1–E12) in-process and prints/saves the result tables. Every runner
 exports its raw table rows: ``--json PATH`` dumps them all into one
 JSON document keyed by experiment id, and ``--json-dir DIR`` writes one
 ``BENCH_<id>.json`` per executed experiment — the CI smoke step
@@ -453,6 +453,77 @@ def run_e11(quick: bool) -> str:
     )
 
 
+def run_e12(quick: bool) -> str:
+    import threading
+
+    from repro.storage.types import DataType
+
+    writer_counts = [1, 8] if quick else [1, 2, 4, 8]
+    txns = 16 if quick else 24
+    delay = 0.003  # modelled WAL device latency
+
+    def run_writers(group_size: int, writers: int) -> dict:
+        path = tempfile.mkdtemp(prefix="e12-")
+        try:
+            db = Database(
+                path,
+                _config(
+                    DurabilityMode.LOG,
+                    group_commit_size=group_size,
+                    wal_fsync_delay_s=delay,
+                ),
+            )
+            db.create_table("t", {"k": DataType.INT64, "v": DataType.INT64})
+            base_syncs = db.stats()["wal"]["syncs"]
+            barrier = threading.Barrier(writers)
+
+            def writer(i: int) -> None:
+                barrier.wait()
+                for j in range(txns):
+                    db.insert("t", {"k": i * txns + j, "v": j})
+
+            threads = [
+                threading.Thread(target=writer, args=(i,))
+                for i in range(writers)
+            ]
+            start = time.perf_counter()
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            elapsed = time.perf_counter() - start
+            commits = writers * txns
+            wal = db.stats()["wal"]
+            result = {
+                "txn_s": commits / elapsed,
+                "fsyncs_per_commit": (wal["syncs"] - base_syncs) / commits,
+            }
+            db.close()
+            return result
+        finally:
+            shutil.rmtree(path, ignore_errors=True)
+
+    runs = {
+        (tag, writers): run_writers(group_size, writers)
+        for tag, group_size in [("sync", 1), ("async", 0)]
+        for writers in writer_counts
+    }
+    rows_out = []
+    for writers in writer_counts:
+        record = {"writers": writers}
+        for tag in ("sync", "async"):
+            run = runs[(tag, writers)]
+            record[f"{tag}_txn_s"] = run["txn_s"]
+            record[f"{tag}_speedup"] = run["txn_s"] / runs[(tag, 1)]["txn_s"]
+            record[f"{tag}_fsyncs_per_commit"] = run["fsyncs_per_commit"]
+        rows_out.append(record)
+    return _finish(
+        "E12",
+        rows_out,
+        "E12: committed txn/s vs concurrent writers (single shard, 3ms fsync)",
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -464,6 +535,7 @@ EXPERIMENTS = {
     "E9": run_e9,
     "E10": run_e10,
     "E11": run_e11,
+    "E12": run_e12,
 }
 
 # Raw rows exported by runners that support --json (keyed by experiment).

@@ -49,7 +49,20 @@ class EngineConfig:
     #: NVM latency model; None = default (no injected delays).
     latency: Optional[LatencyModel] = None
     #: Commits per fsync in LOG mode (1 = sync commit, 0 = async).
+    #: Under concurrent writers ``1`` means group commit: every commit
+    #: waits for durability, but one leader fsync covers every commit
+    #: record that reached the log by then.
     group_commit_size: int = 1
+    #: Client threads driving each shard. ``1`` keeps the serial write
+    #: path; ``> 1`` makes :class:`~repro.core.sharding.ShardedEngine`
+    #: split each shard's batch work across this many concurrent
+    #: writer transactions (the commit pipeline is thread-safe either
+    #: way — external threads may always share one Database).
+    writers_per_shard: int = 1
+    #: Modelled WAL device fsync latency in seconds (LOG mode). Added
+    #: to every fsync with a GIL-releasing sleep, so group commit's
+    #: fsync amortisation is measurable on fast local disks (E12).
+    wal_fsync_delay_s: float = 0.0
     #: Transaction-table slots (max concurrent transactions).
     txn_slots: int = 256
     #: Keep delta dictionary lookup structures on NVM (ablation E7).
@@ -70,6 +83,10 @@ class EngineConfig:
             raise ValueError("shards must be >= 1")
         if self.group_commit_size < 0:
             raise ValueError("group_commit_size must be >= 0")
+        if self.writers_per_shard < 1:
+            raise ValueError("writers_per_shard must be >= 1")
+        if self.wal_fsync_delay_s < 0:
+            raise ValueError("wal_fsync_delay_s must be >= 0")
         if self.txn_slots < 1:
             raise ValueError("txn_slots must be >= 1")
         if self.mode is not DurabilityMode.NVM and self.persistent_dict_index:

@@ -32,6 +32,7 @@ For hash-partitioned multi-shard deployments see
 from __future__ import annotations
 
 import os
+import threading
 from typing import Optional, Sequence, Union
 
 import time
@@ -156,6 +157,14 @@ class Database:
         self._tables_by_name: dict[str, Table] = {}
         self._indexes: dict[int, dict[str, TableIndex]] = {}
         self._closed = False
+        # Secondary-index maintenance: TableIndex mutation is not
+        # thread-safe, so concurrent writers serialise their on_insert
+        # calls here. Coarse by design — index upkeep is cheap next to
+        # encode + WAL work, which stays outside.
+        self._index_lock = threading.Lock()
+        # Opportunistic maintenance (auto-merge): at most one thread
+        # attempts it; everyone else skips rather than queueing up.
+        self._maint_lock = threading.Lock()
         self.last_recovery: Optional[RecoveryReport] = None
         os.makedirs(path, exist_ok=True)
         self._driver: DurabilityDriver = create_driver(path, self.config)
@@ -260,6 +269,12 @@ class Database:
         indexes = self._indexes.get(table.table_id)
         if not indexes:
             return
+        with self._index_lock:
+            self._index_new_row_locked(table, ref, indexes)
+
+    def _index_new_row_locked(
+        self, table: Table, ref: int, indexes: dict[str, TableIndex]
+    ) -> None:
         is_delta, row = unpack_rowref(ref)
         assert is_delta, "new rows always land in the delta"
         for column, index in indexes.items():
@@ -267,9 +282,12 @@ class Database:
             index.on_insert(table.delta.get_code(col, row), row)
 
     def _index_new_rows(self, table: Table, refs: Sequence[int]) -> None:
-        if self._indexes.get(table.table_id):
+        indexes = self._indexes.get(table.table_id)
+        if not indexes:
+            return
+        with self._index_lock:
             for ref in refs:
-                self._index_new_row(table, ref)
+                self._index_new_row_locked(table, ref, indexes)
 
     def _pick_index(
         self, table: Table, predicate: Optional[Predicate]
@@ -314,10 +332,24 @@ class Database:
         threshold = self.config.auto_merge_rows
         if not threshold or self._manager.active_count:
             return
-        for table_id in table_ids:
-            table = self._tables_by_id.get(table_id)
-            if table is not None and table.delta_row_count >= threshold:
-                self.merge(table.name)
+        # Non-blocking: if another thread is already merging (or probing
+        # for one), skip — the next commit will re-check. Merging
+        # requires quiescence anyway, so queueing writers here would
+        # only serialise them behind work that must then be abandoned.
+        if not self._maint_lock.acquire(blocking=False):
+            return
+        try:
+            for table_id in table_ids:
+                table = self._tables_by_id.get(table_id)
+                if table is not None and table.delta_row_count >= threshold:
+                    try:
+                        self.merge(table.name)
+                    except RuntimeError:
+                        # A transaction began between the quiescence
+                        # check and the merge; drop the attempt.
+                        return
+        finally:
+            self._maint_lock.release()
 
     def bulk_insert(
         self, table_name: str, rows: Sequence[dict], _cid: Optional[int] = None

@@ -305,7 +305,11 @@ class LogDriver(VolatileDriver):
                 # every future replay, silently losing the transactions
                 # they describe.
                 self._drop_torn_tail(end_lsn)
-                self._wal = LogWriter(self.log_path, self.config.group_commit_size)
+                self._wal = LogWriter(
+                    self.log_path,
+                    self.config.group_commit_size,
+                    fsync_delay_s=self.config.wal_fsync_delay_s,
+                )
                 db._manager = self._volatile_manager(
                     db,
                     last_cid=last_cid,
@@ -391,7 +395,8 @@ class LogDriver(VolatileDriver):
         self._wal.log_insert_many(
             tid, table.table_id, list(zip(*value_rows))
         )
-        self._wal.log_commit(tid, cid)
+        lsn = self._wal.append_commit(tid, cid)
+        self._wal.commit_barrier(lsn)
 
     def checkpoint(self) -> int:
         db = self._db
@@ -435,6 +440,14 @@ class LogDriver(VolatileDriver):
                 "records": self._wal.records_written,
                 "syncs": self._wal.syncs,
                 "bytes": self._wal.bytes_written,
+                "commits_acked": self._wal.commits_acked,
+                "commits_durable": self._wal.commits_durable,
+                # Async-commit visibility/durability gap: transactions
+                # acknowledged to the client whose commit record has not
+                # yet been fsynced (bounded loss window on power failure).
+                "ack_durability_gap": (
+                    self._wal.commits_acked - self._wal.commits_durable
+                ),
             }
         }
 

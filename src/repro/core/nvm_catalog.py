@@ -31,6 +31,8 @@ which is precisely the paper's instant-restart property.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.index.delta_index import PersistentDeltaIndex, VolatileDeltaIndex
@@ -74,16 +76,20 @@ class PersistentCidStore:
         self._pool = pool
         self._offset = root + _R_LAST_CID
         self._last = pool.read_u64(self._offset)
+        self._lock = threading.Lock()
 
     @property
     def last_cid(self) -> int:
         return self._last
 
     def advance(self, cid: int) -> None:
-        if cid > self._last:
-            self._pool.write_u64(self._offset, cid)
-            self._pool.persist(self._offset, 8)
-            self._last = cid
+        # Locked check-then-write: two committers racing here could
+        # otherwise persist a lower cid over a higher one.
+        with self._lock:
+            if cid > self._last:
+                self._pool.write_u64(self._offset, cid)
+                self._pool.persist(self._offset, 8)
+                self._last = cid
 
 
 class PersistentTidAllocator:
@@ -97,6 +103,7 @@ class PersistentTidAllocator:
     def __init__(self, pool: PMemPool, root: int):
         self._pool = pool
         self._offset = root + _R_TID_RESERVE
+        self._lock = threading.Lock()
         reserve = pool.read_u64(self._offset)
         self._next = max(reserve, 1)
         self._limit = self._next
@@ -108,11 +115,14 @@ class PersistentTidAllocator:
         self._pool.persist(self._offset, 8)
 
     def next(self) -> int:
-        if self._next >= self._limit:
-            self._extend_reservation()
-        tid = self._next
-        self._next += 1
-        return tid
+        # Atomic under concurrent begins: the read-increment and the
+        # occasional reservation extension must not interleave.
+        with self._lock:
+            if self._next >= self._limit:
+                self._extend_reservation()
+            tid = self._next
+            self._next += 1
+            return tid
 
 
 class NvmCatalog:

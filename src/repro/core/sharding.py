@@ -171,8 +171,13 @@ class ShardedEngine:
         self.num_shards: int = manifest["shards"]
         self._partition_keys: dict[str, str] = manifest["partition_keys"]
         self._closed = False
+        # One worker per shard, times the configured client threads per
+        # shard: with writers_per_shard > 1 a single shard's batch work
+        # is split across several concurrent writer transactions, all
+        # funnelling into that shard's thread-safe commit pipeline.
         self._executor = ThreadPoolExecutor(
-            max_workers=self.num_shards, thread_name_prefix="shard"
+            max_workers=self.num_shards * self.config.writers_per_shard,
+            thread_name_prefix="shard",
         )
         shard_config = replace(self.config, shards=1)
         span = Span(f"recovery:sharded:{self.mode.value}")
@@ -354,16 +359,32 @@ class ShardedEngine:
         return groups
 
     def insert_many(self, table_name: str, rows: Sequence[dict]) -> int:
-        """Hash-partition a batch and run one transactional
-        ``insert_many`` per touched shard in parallel.
+        """Hash-partition a batch and run transactional ``insert_many``
+        calls per touched shard in parallel.
 
-        Each shard's sub-batch commits atomically on that shard (the
-        fan-out itself is not a distributed transaction, matching
-        ``bulk_insert``). Returns the number of rows inserted.
+        With ``writers_per_shard == 1`` each shard's sub-batch is one
+        transaction. With ``writers_per_shard == W`` the sub-batch is
+        further split into up to W chunks, each committed by its own
+        concurrent writer transaction on that shard — exercising (and
+        benchmarking) the thread-safe commit pipeline. Per-transaction
+        chunks commit atomically; the fan-out itself is not a
+        distributed transaction, matching ``bulk_insert``. Returns the
+        number of rows inserted.
         """
         if not rows:
             return 0
         groups = self._partition_rows(table_name, rows)
+        writers = self.config.writers_per_shard
+        work: list[tuple[int, list[dict]]] = []
+        for sid, sub in groups:
+            if writers <= 1 or len(sub) < 2:
+                work.append((sid, sub))
+                continue
+            per = max(1, -(-len(sub) // writers))  # ceil division
+            work.extend(
+                (sid, sub[start : start + per])
+                for start in range(0, len(sub), per)
+            )
 
         def run(item: tuple[int, list[dict]]) -> int:
             sid, sub = item
@@ -371,7 +392,7 @@ class ShardedEngine:
             shard.insert_many(table_name, sub)
             return shard.last_cid
 
-        cids = self._fan_out(run, groups, op="insert_many")
+        cids = self._fan_out(run, work, op="insert_many")
         self._last_cid = max(self._last_cid, *cids)
         return len(rows)
 

@@ -33,6 +33,7 @@ import random
 import shutil
 import sys
 import tempfile
+import threading
 import time
 from collections import Counter
 from dataclasses import dataclass
@@ -139,6 +140,11 @@ class CrashSweep:
         ]
 
     def _execute(self, engine: Engine, step: Step) -> None:
+        # Completion tracking is per step: it qualifies the *pending*
+        # step's atomicity groups, and a key completed by an earlier,
+        # fully-committed step must not vouch for a later op on the
+        # same key that never finished.
+        self._completed_ops = set()
         if step.kind == "insert":
             key, note = step.rows[0]
             engine.insert(TABLE, {"key": key, "note": note})
@@ -165,12 +171,62 @@ class CrashSweep:
             ref = txn.query(TABLE, Eq("key", step.key)).refs()[0]
             txn.delete(TABLE, ref)
             txn.commit()
+        elif step.kind == "concurrent_mix":
+            self._execute_concurrent(engine, step)
         elif step.kind == "merge":
             engine.merge(TABLE)
         elif step.kind == "checkpoint":
             engine.checkpoint()
         else:
             raise ValueError(f"unknown step kind {step.kind!r}")
+
+    def _execute_concurrent(self, engine: Engine, step: Step) -> None:
+        """Run every (key, note) op of the step on its own thread.
+
+        Each op is an independent autocommit transaction, so the crash
+        point lands while several writers race through the commit
+        pipeline. Ops whose ``commit()`` returned before the power died
+        are recorded in ``self._completed_ops`` — their effects were
+        acknowledged and must survive recovery unconditionally. A
+        :class:`SimulatedPowerFailure` on any thread is re-raised here
+        after every thread has stopped (the injector's breaker stays
+        open, so no thread can persist anything past the cut).
+        """
+        failures: list[BaseException] = []
+        lock = threading.Lock()
+
+        def run_op(key: int, note: Optional[str]) -> None:
+            try:
+                db = self._owner(engine, key)
+                txn = db.begin()
+                if note is None:
+                    ref = txn.query(TABLE, Eq("key", key)).refs()[0]
+                    txn.delete(TABLE, ref)
+                else:
+                    refs = txn.query(TABLE, Eq("key", key)).refs()
+                    if refs:
+                        txn.update(TABLE, refs[0], {"note": note})
+                    else:
+                        txn.insert(TABLE, {"key": key, "note": note})
+                txn.commit()
+                with lock:
+                    self._completed_ops.add(key)
+            except SimulatedPowerFailure as exc:
+                with lock:
+                    failures.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=run_op, args=(key, note), name=f"sweep-writer-{key}"
+            )
+            for key, note in step.rows
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
 
     # ------------------------------------------------------------------
     # One crash point
@@ -188,6 +244,10 @@ class CrashSweep:
         engine = self._open(path)
         self._setup(engine)  # not injected: the baseline must exist
         oracle = Oracle(self.workload.baseline)
+        # Keys whose concurrent op's commit() returned before the power
+        # died: those acknowledgements are binding (sync commit), so
+        # recovery must keep them even though the step never finished.
+        self._completed_ops: set = set()
         fired = False
         injector = CrashPointInjector(crash_at=point)
         with injector:
@@ -268,6 +328,10 @@ class CrashSweep:
         effects = step.effects()
         if not effects:
             return []
+        if step.kind == "concurrent_mix":
+            # Every op is its own autocommit transaction on its own
+            # thread: per-key all-or-nothing, independent of the rest.
+            return [{key: note} for key, note in sorted(effects.items())]
         if self.settings.shards > 1 and step.kind in ("insert_many", "bulk"):
             groups: dict[int, dict] = {}
             for key, note in effects.items():
@@ -284,6 +348,20 @@ class CrashSweep:
         else:
             committed = oracle.committed
             groups = self._pending_groups(oracle.pending)
+            completed = getattr(self, "_completed_ops", set())
+            if completed:
+                # Concurrent ops whose commit() was acknowledged are
+                # committed, not optional: fold them into the shadow
+                # and check them as strictly as finished steps.
+                committed = dict(committed)
+                mandatory = [g for g in groups if set(g) <= completed]
+                groups = [g for g in groups if not set(g) <= completed]
+                for group in mandatory:
+                    for key, note in group.items():
+                        if note is None:
+                            committed.pop(key, None)
+                        else:
+                            committed[key] = note
         found, problems = self._found_rows(engine)
 
         expected = dict(committed)

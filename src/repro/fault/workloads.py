@@ -26,15 +26,23 @@ from repro.storage.types import DataType
 TABLE = "kv"
 SCHEMA = {"key": DataType.INT64, "note": DataType.STRING}
 
-WORKLOAD_NAMES = ("ycsb", "batch", "maint")
+WORKLOAD_NAMES = ("ycsb", "batch", "maint", "concurrent")
 
 
 @dataclass(frozen=True)
 class Step:
     """One workload step. ``rows`` for inserts, ``key``/``note`` for
-    point updates and deletes; merge/checkpoint carry no payload."""
+    point updates and deletes; merge/checkpoint carry no payload.
 
-    kind: str  # insert | insert_many | bulk | update | delete | merge | checkpoint
+    ``concurrent_mix`` packs many single-op transactions into one step,
+    executed from one thread each: every ``(key, note)`` pair is an
+    independent autocommit operation on its own key — a fresh key is an
+    insert, a live key an update, ``note is None`` a delete — so each
+    pair forms its own atomicity group under crash injection.
+    """
+
+    kind: str  # insert | insert_many | bulk | update | delete |
+    #            concurrent_mix | merge | checkpoint
     rows: tuple = ()  # ((key, note), ...)
     key: int = -1
     note: str = ""
@@ -45,7 +53,7 @@ class Step:
         Empty for maintenance steps — merge and checkpoint must never
         change logical contents, crash or no crash.
         """
-        if self.kind in ("insert", "insert_many", "bulk"):
+        if self.kind in ("insert", "insert_many", "bulk", "concurrent_mix"):
             return dict(self.rows)
         if self.kind == "update":
             return {self.key: self.note}
@@ -132,6 +140,24 @@ class _Planner:
         self.live.remove(key)
         return Step("delete", key=key)
 
+    def concurrent_mix(self, inserts: int, updates: int, deletes: int) -> Step:
+        """One step of ``inserts + updates + deletes`` concurrent ops.
+
+        Targets are all-distinct keys, so the concurrent transactions
+        never conflict with each other — each op's survival after a
+        crash is independently all-or-nothing.
+        """
+        targets = self.rng.sample(sorted(self.live), updates + deletes)
+        rows: list[tuple] = []
+        for key in targets[:updates]:
+            rows.append((key, self.note()))
+        for key in targets[updates:]:
+            self.live.remove(key)
+            rows.append((key, None))
+        rows.extend(self.fresh_rows(inserts))
+        self.rng.shuffle(rows)
+        return Step("concurrent_mix", rows=tuple(rows))
+
 
 def make_workload(name: str, seed: int = 0) -> SweepWorkload:
     """Build a named preset. Same (name, seed) -> identical plan."""
@@ -177,6 +203,22 @@ def make_workload(name: str, seed: int = 0) -> SweepWorkload:
             planner.insert(),
             Step("merge"),
             Step("checkpoint"),
+        ]
+    elif name == "concurrent":
+        # Concurrent writers: each concurrent_mix step drives one
+        # thread per op through the thread-safe commit pipeline, so
+        # crash points land while several transactions are in flight at
+        # once; maintenance steps in between check that quiesced merge/
+        # checkpoint still hold up between concurrent bursts.
+        initial = planner.fresh_rows(16)
+        steps = [
+            planner.concurrent_mix(3, 2, 1),
+            planner.insert_many(4),
+            planner.concurrent_mix(2, 3, 1),
+            Step("merge"),
+            planner.concurrent_mix(3, 1, 2),
+            Step("checkpoint"),
+            planner.concurrent_mix(2, 2, 2),
         ]
     else:
         raise ValueError(f"unknown workload {name!r} (have {WORKLOAD_NAMES})")

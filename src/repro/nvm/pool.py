@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 from enum import Enum
 from mmap import mmap
 from typing import Optional
@@ -114,6 +115,11 @@ class PMemPool:
         self._maps: list[mmap] = []
         self._files: list = []
         self._undo: dict[int, bytes] = {}
+        # Concurrent writers: the bump allocator's read-modify-write on
+        # the persisted head, and STRICT mode's pre-image bookkeeping,
+        # are the two pool-level structures shared across threads.
+        self._alloc_lock = threading.Lock()
+        self._undo_lock = threading.Lock()
         self._closed = False
         self.stats = NvmStats(model=latency or LatencyModel())
         try:
@@ -344,7 +350,14 @@ class PMemPool:
     def write(self, offset: int, data: bytes) -> None:
         """Store ``data`` at ``offset`` (volatile until flushed)."""
         if self._mode is PMemMode.STRICT:
-            self._snapshot_lines(offset, len(data))
+            # Snapshot + store as one atomic step so a concurrent
+            # writer to a neighbouring field of the same cache line
+            # cannot capture a half-applied pre-image.
+            with self._undo_lock:
+                self._snapshot_lines(offset, len(data))
+                self.stats.bytes_written += len(data)
+                self._raw_write(offset, data)
+            return
         self.stats.bytes_written += len(data)
         self._raw_write(offset, data)
 
@@ -437,9 +450,10 @@ class PMemPool:
         else:
             _lines_flushed_inc()(n_lines)
         if self._mode is PMemMode.STRICT:
-            undo = self._undo
-            for line in range(first, last + CACHE_LINE, CACHE_LINE):
-                undo.pop(line, None)
+            with self._undo_lock:
+                undo = self._undo
+                for line in range(first, last + CACHE_LINE, CACHE_LINE):
+                    undo.pop(line, None)
         model = self.stats.model
         if model.injected_flush_ns:
             busy_wait_ns(int(model.injected_flush_ns * model.write_multiplier))
@@ -494,19 +508,20 @@ class PMemPool:
             raise PoolFullError(
                 f"allocation of {nbytes} exceeds extent size {self._extent_size}"
             )
-        head = self.alloc_head
-        head = -(-head // align) * align  # align up
-        ext = head // self._extent_size
-        local = head % self._extent_size
-        if local + nbytes > self._extent_size:
-            # Skip the unusable extent tail and start at the next extent.
-            head = (ext + 1) * self._extent_size
-        while head + nbytes > self.size:
-            self._grow()
-        self._set_alloc_head(head + nbytes)
-        self.stats.allocations += 1
-        self.stats.allocated_bytes += nbytes
-        return head
+        with self._alloc_lock:
+            head = self.alloc_head
+            head = -(-head // align) * align  # align up
+            ext = head // self._extent_size
+            local = head % self._extent_size
+            if local + nbytes > self._extent_size:
+                # Skip the unusable extent tail and start at the next extent.
+                head = (ext + 1) * self._extent_size
+            while head + nbytes > self.size:
+                self._grow()
+            self._set_alloc_head(head + nbytes)
+            self.stats.allocations += 1
+            self.stats.allocated_bytes += nbytes
+            return head
 
     def _grow(self) -> None:
         self._add_extent()

@@ -180,12 +180,30 @@ def scan(
     main_mask, delta_mask = _visibility_masks(table, snapshot_cid, ctx)
     if predicate is not None:
         main_mask &= predicate.eval_main(table.main, table.schema)
-        delta_mask &= predicate.eval_delta(table.delta, table.schema)
+        delta_mask = _clamped_and(
+            delta_mask, predicate.eval_delta(table.delta, table.schema)
+        )
     return ScanResult(
         table,
         np.nonzero(main_mask)[0],
         np.nonzero(delta_mask)[0],
     )
+
+
+def _clamped_and(mask: np.ndarray, other: np.ndarray) -> np.ndarray:
+    """AND two delta masks that may disagree on length.
+
+    Under concurrent writers the delta can grow between the visibility
+    and predicate passes of one scan. A row published after the
+    visibility mask was taken cannot be visible at this snapshot (its
+    commit id, if it ever gets one, is allocated after the snapshot was
+    fixed), so truncating both masks to the shorter length never drops
+    a visible row.
+    """
+    n = min(mask.shape[0], other.shape[0])
+    mask = mask[:n]
+    mask &= other[:n]
+    return mask
 
 
 _RANGE_PREDICATES = (Between, Lt, Le, Gt, Ge)

@@ -10,6 +10,7 @@ column tails that the next insert overwrites in place.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Sequence
 
 import numpy as np
@@ -68,6 +69,13 @@ class DeltaPartition:
         self.dictionaries = dictionaries
         self.code_vectors = code_vectors
         self.mvcc = mvcc
+        # Append reservation latch: a writer holds this from reading
+        # ``row_count`` through the begin-vector publish, so two
+        # transactions can never claim overlapping row ranges. The WAL
+        # op-record append rides inside the same critical section — log
+        # replay reproduces physical placement from file order, so file
+        # order must equal append order.
+        self.write_lock = threading.Lock()
 
     @classmethod
     def create(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+import threading
 from bisect import bisect_left, bisect_right
 from typing import Optional, Sequence
 
@@ -77,6 +78,9 @@ class UnsortedDictionary:
         self.values = values
         self.persistent_lookup = persistent_lookup
         self.uid = next(_uid_counter)
+        # Serialises code assignment: two writers probing-then-appending
+        # concurrently could hand out duplicate codes for one value.
+        self._insert_lock = threading.Lock()
         self._lookup: Optional[dict] = None
         # Decode accelerators for the vectorized read path: python
         # values in code order, grown incrementally, plus a numpy
@@ -271,19 +275,20 @@ class UnsortedDictionary:
 
     def code_for_insert(self, value) -> int:
         """Code of ``value``, appending it to the dictionary if new."""
-        existing = self.code_of(value)
-        if existing is not None:
-            return existing
-        if self.dtype is DataType.STRING:
-            raw = self._backend.put_str(value)
-        else:
-            raw = value
-        code = self.values.append(raw)
-        if self._lookup is not None:
-            self._lookup[value] = code
-        if self.persistent_lookup is not None:
-            self.persistent_lookup.insert(hash_key(self.dtype, value), code)
-        return code
+        with self._insert_lock:
+            existing = self.code_of(value)
+            if existing is not None:
+                return existing
+            if self.dtype is DataType.STRING:
+                raw = self._backend.put_str(value)
+            else:
+                raw = value
+            code = self.values.append(raw)
+            if self._lookup is not None:
+                self._lookup[value] = code
+            if self.persistent_lookup is not None:
+                self.persistent_lookup.insert(hash_key(self.dtype, value), code)
+            return code
 
     def codes_for_insert(self, values: Sequence) -> np.ndarray:
         """Codes for a batch of non-null values, appending new ones.
@@ -297,6 +302,10 @@ class UnsortedDictionary:
         n = len(values)
         if n == 0:
             return np.empty(0, dtype=np.uint64)
+        with self._insert_lock:
+            return self._codes_for_insert_locked(values)
+
+    def _codes_for_insert_locked(self, values: Sequence) -> np.ndarray:
         if self.dtype is DataType.STRING:
             arr = np.asarray(values, dtype=object)
         else:

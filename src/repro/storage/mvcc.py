@@ -16,6 +16,7 @@ own-transaction adjustments applied by the transaction context.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 import numpy as np
@@ -73,6 +74,10 @@ class MvccColumns:
         self.begin = begin
         self.end = end
         self.tid = tid
+        # Row-lock latch: the tid column is the MVCC row lock, and its
+        # conflict-check-then-set must be atomic under concurrent
+        # writers. Holders never take another lock inside.
+        self.lock = threading.Lock()
         # (stamp, begin array, end array, watermark_lo, watermark_hi)
         self._vis_cache: Optional[tuple] = None
         self._mutations = 0
@@ -108,12 +113,16 @@ class MvccColumns:
     # ------------------------------------------------------------------
 
     def set_begin(self, row: int, cid: int, persist: bool = True) -> None:
-        self._mutations += 1
+        # Store first, bump after: a concurrent scan that misses this
+        # store then carries a stale stamp and re-reads next time. The
+        # reverse order could cache the pre-store arrays under the
+        # post-store stamp forever.
         self.begin.set(row, cid, persist=persist)
+        self._mutations += 1
 
     def set_end(self, row: int, cid: int, persist: bool = True) -> None:
-        self._mutations += 1
         self.end.set(row, cid, persist=persist)
+        self._mutations += 1
 
     def set_tid(self, row: int, tid: int, persist: bool = True) -> None:
         self.tid.set(row, tid, persist=persist)
@@ -122,8 +131,8 @@ class MvccColumns:
         """Set ``begin_cid`` for a contiguous row range (one store per
         touched chunk instead of a per-row loop)."""
         if count > 0:
-            self._mutations += 1
             self.begin.set_range(first, np.full(count, cid, dtype=np.uint64))
+            self._mutations += 1
 
     def set_tid_range(self, first: int, count: int, tid: int) -> None:
         """Set ``tid`` for a contiguous row range, chunk-coalesced."""

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import threading
 from enum import Enum
 
 import numpy as np
 
 from repro.storage.table import Table, unpack_rowref
+from repro.txn.errors import ConcurrentTransactionUse
 
 
 class TxnState(Enum):
@@ -36,6 +38,37 @@ class TransactionContext:
         self.own_insert_ranges: dict[int, list[list[int]]] = {}
         self.own_invalidated: dict[int, set[int]] = {}
         self.cid: int | None = None
+        # Cross-thread misuse detection: contexts are single-threaded,
+        # but nothing used to stop two threads from interleaving ops on
+        # one context and silently corrupting the undo bookkeeping.
+        # ``enter_op``/``exit_op`` bracket every manager operation and
+        # raise instead. Re-entrant for one thread (update = invalidate
+        # + insert nests).
+        self._op_lock = threading.Lock()
+        self._op_thread: int | None = None
+        self._op_depth = 0
+
+    def enter_op(self) -> None:
+        """Claim the context for the calling thread for one operation."""
+        me = threading.get_ident()
+        with self._op_lock:
+            if self._op_thread is not None and self._op_thread != me:
+                raise ConcurrentTransactionUse(
+                    f"transaction {self.tid} is already executing an "
+                    f"operation on thread {self._op_thread}; a "
+                    "TransactionContext must not be shared between "
+                    "threads — begin one transaction per thread"
+                )
+            self._op_thread = me
+            self._op_depth += 1
+
+    def exit_op(self) -> None:
+        """Release the per-operation claim taken by :meth:`enter_op`."""
+        with self._op_lock:
+            self._op_depth -= 1
+            if self._op_depth <= 0:
+                self._op_depth = 0
+                self._op_thread = None
 
     @property
     def is_active(self) -> bool:

@@ -15,3 +15,13 @@ class TransactionAborted(TransactionError):
 
 class TooManyActiveTransactions(TransactionError):
     """The transaction table has no free slots."""
+
+
+class ConcurrentTransactionUse(TransactionError):
+    """One transaction context was driven from two threads at once.
+
+    A ``TransactionContext`` is single-threaded by design: its undo
+    bookkeeping is not synchronized, so interleaved operations from two
+    threads would corrupt it silently. Detect the misuse and fail loudly
+    instead — each thread must run its own transaction.
+    """

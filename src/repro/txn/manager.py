@@ -15,6 +15,8 @@ invalidated (``end_cid``) and a new version is inserted into the delta.
 
 from __future__ import annotations
 
+import itertools
+import threading
 from typing import Callable, Optional, Protocol, Sequence
 
 from repro.storage.mvcc import INFINITY_CID, NO_TID
@@ -45,14 +47,18 @@ class VolatileCidStore:
 
     def __init__(self, last_cid: int = 0):
         self._last = last_cid
+        self._lock = threading.Lock()
 
     @property
     def last_cid(self) -> int:
         return self._last
 
     def advance(self, cid: int) -> None:
-        if cid > self._last:
-            self._last = cid
+        # Locked check-then-set: a bare ``if cid > last: last = cid``
+        # can go backwards when two committers interleave.
+        with self._lock:
+            if cid > self._last:
+                self._last = cid
 
 
 class TidAllocator(Protocol):
@@ -62,15 +68,18 @@ class TidAllocator(Protocol):
 
 
 class VolatileTidAllocator:
-    """Monotonic tids starting at 1 (0 is :data:`NO_TID`)."""
+    """Monotonic tids starting at 1 (0 is :data:`NO_TID`).
+
+    Backed by :func:`itertools.count`, whose ``next`` is atomic under
+    the GIL — two threads beginning transactions concurrently can never
+    draw the same tid.
+    """
 
     def __init__(self, start: int = 1):
-        self._next = max(start, 1)
+        self._counter = itertools.count(max(start, 1))
 
     def next(self) -> int:
-        tid = self._next
-        self._next += 1
-        return tid
+        return next(self._counter)
 
 
 class WalHook(Protocol):
@@ -85,6 +94,10 @@ class WalHook(Protocol):
     def log_invalidate(self, tid: int, table_id: int, ref: int) -> None: ...
 
     def log_commit(self, tid: int, cid: int) -> None: ...
+
+    def append_commit(self, tid: int, cid: int) -> int: ...
+
+    def commit_barrier(self, lsn: int) -> None: ...
 
     def log_abort(self, tid: int) -> None: ...
 
@@ -105,6 +118,15 @@ class TransactionManager:
         self._tids = tid_allocator
         self._table_lookup = table_lookup
         self._wal = wal
+        # Commit lock: serialises the commit critical section — cid
+        # allocation, commit-record append, durable commit point, MVCC
+        # apply, cid advance — so commit ids become visible in order
+        # (a later cid can never apply before an earlier one, which
+        # keeps every snapshot prefix-consistent). The fsync wait of
+        # the group-commit barrier happens OUTSIDE this lock, which is
+        # what lets concurrent committers share one fsync. Aborts and
+        # counter updates take the same lock.
+        self._lock = threading.RLock()
         self.active: dict[int, TransactionContext] = {}
         self.commits = 0
         self.aborts = 0
@@ -127,7 +149,8 @@ class TransactionManager:
         tid = self._tids.next()
         slot = self._txn_table.begin(tid)
         ctx = TransactionContext(tid, self._cids.last_cid, slot)
-        self.active[tid] = ctx
+        with self._lock:
+            self.active[tid] = ctx
         return ctx
 
     def _require_active(self, ctx: TransactionContext) -> None:
@@ -164,25 +187,37 @@ class TransactionManager:
         always has the record recovery needs to clear its row locks.
         One batched WAL record replaces per-row framing.
         """
-        self._require_active(ctx)
-        if not rows:
-            return []
-        n = len(rows)
-        first = table.delta.row_count
-        range_ref = pack_range_ref(first, n)
-        self._txn_table.record(
-            ctx.slot, OP_INSERT_MANY, table.table_id, range_ref
-        )
-        columns = [
-            [row[c] for row in rows] for c in range(len(table.schema))
-        ]
-        encoded = table.delta.encode_columns(columns)
-        table.delta.insert_rows_encoded(encoded, ctx.tid)
-        if self._wal is not None:
-            self._wal.log_insert_many(ctx.tid, table.table_id, columns)
-        ctx.ops.append((OP_INSERT_MANY, table.table_id, range_ref))
-        ctx.note_insert_range(table.table_id, first, n)
-        return [pack_rowref(True, first + i) for i in range(n)]
+        ctx.enter_op()
+        try:
+            self._require_active(ctx)
+            if not rows:
+                return []
+            n = len(rows)
+            columns = [
+                [row[c] for row in rows] for c in range(len(table.schema))
+            ]
+            # Dictionary encoding happens outside the append reservation
+            # (each dictionary takes its own insert lock): codes are
+            # position-independent, only row placement needs the latch.
+            encoded = table.delta.encode_columns(columns)
+            with table.delta.write_lock:
+                first = table.delta.row_count
+                range_ref = pack_range_ref(first, n)
+                self._txn_table.record(
+                    ctx.slot, OP_INSERT_MANY, table.table_id, range_ref
+                )
+                table.delta.insert_rows_encoded(encoded, ctx.tid)
+                if self._wal is not None:
+                    # Inside the latch: replay reproduces placement from
+                    # file order, so file order must equal append order.
+                    self._wal.log_insert_many(
+                        ctx.tid, table.table_id, columns
+                    )
+            ctx.ops.append((OP_INSERT_MANY, table.table_id, range_ref))
+            ctx.note_insert_range(table.table_id, first, n)
+            return [pack_rowref(True, first + i) for i in range(n)]
+        finally:
+            ctx.exit_op()
 
     def insert_row(self, ctx: TransactionContext, table: Table, row: dict) -> int:
         """Insert one {column: value} row."""
@@ -194,28 +229,47 @@ class TransactionManager:
         Raises :class:`TransactionConflict` when the row is locked by
         another transaction or no longer visible.
         """
-        self._require_active(ctx)
-        if not ctx.row_visible(table, ref):
+        ctx.enter_op()
+        try:
+            self._require_active(ctx)
+            if not ctx.row_visible(table, ref):
+                self._count_conflict()
+                raise TransactionConflict(
+                    f"row {ref} not visible to txn {ctx.tid}"
+                )
+            mvcc, index = table.mvcc_for(ref)
+            # Compare-and-swap on the tid row lock: the conflict checks,
+            # the undo record, and the lock store form one atomic
+            # section under the partition's tid latch — two racing
+            # invalidators must never both end up holding undo records
+            # for the same row (rollback releases the lock
+            # unconditionally). Within the section: record first
+            # (write-ahead), then take the lock, so a crash in between
+            # rolls back to a no-op (tid is still NO_TID).
+            with mvcc.lock:
+                owner = mvcc.get_tid(index)
+                if owner not in (NO_TID, ctx.tid):
+                    self._count_conflict()
+                    raise TransactionConflict(
+                        f"row {ref} locked by txn {owner} (we are {ctx.tid})"
+                    )
+                if mvcc.get_end(index) != INFINITY_CID:
+                    self._count_conflict()
+                    raise TransactionConflict(f"row {ref} already invalidated")
+                self._txn_table.record(
+                    ctx.slot, OP_INVALIDATE, table.table_id, ref
+                )
+                mvcc.set_tid(index, ctx.tid)
+            if self._wal is not None:
+                self._wal.log_invalidate(ctx.tid, table.table_id, ref)
+            ctx.ops.append((OP_INVALIDATE, table.table_id, ref))
+            ctx.note_invalidate(table.table_id, ref)
+        finally:
+            ctx.exit_op()
+
+    def _count_conflict(self) -> None:
+        with self._lock:
             self.conflicts += 1
-            raise TransactionConflict(f"row {ref} not visible to txn {ctx.tid}")
-        mvcc, index = table.mvcc_for(ref)
-        owner = mvcc.get_tid(index)
-        if owner not in (NO_TID, ctx.tid):
-            self.conflicts += 1
-            raise TransactionConflict(
-                f"row {ref} locked by txn {owner} (we are {ctx.tid})"
-            )
-        if mvcc.get_end(index) != INFINITY_CID:
-            self.conflicts += 1
-            raise TransactionConflict(f"row {ref} already invalidated")
-        # Record first (write-ahead), then take the lock: a crash in
-        # between rolls back to a no-op (tid is still NO_TID).
-        self._txn_table.record(ctx.slot, OP_INVALIDATE, table.table_id, ref)
-        mvcc.set_tid(index, ctx.tid)
-        if self._wal is not None:
-            self._wal.log_invalidate(ctx.tid, table.table_id, ref)
-        ctx.ops.append((OP_INVALIDATE, table.table_id, ref))
-        ctx.note_invalidate(table.table_id, ref)
 
     def update(
         self, ctx: TransactionContext, table: Table, ref: int, changes: dict
@@ -224,56 +278,86 @@ class TransactionManager:
 
         Returns the new row's rowref.
         """
-        self._require_active(ctx)
-        unknown = set(changes) - set(table.schema.names)
-        if unknown:
-            raise KeyError(f"unknown columns {sorted(unknown)}")
-        old_values = table.get_row(ref)
-        self.invalidate(ctx, table, ref)
-        new_values = list(old_values)
-        for name, value in changes.items():
-            idx = table.schema.column_index(name)
-            new_values[idx] = table.schema.columns[idx].dtype.validate(value)
-        return self.insert(ctx, table, new_values)
+        ctx.enter_op()
+        try:
+            self._require_active(ctx)
+            unknown = set(changes) - set(table.schema.names)
+            if unknown:
+                raise KeyError(f"unknown columns {sorted(unknown)}")
+            old_values = table.get_row(ref)
+            self.invalidate(ctx, table, ref)
+            new_values = list(old_values)
+            for name, value in changes.items():
+                idx = table.schema.column_index(name)
+                new_values[idx] = table.schema.columns[idx].dtype.validate(
+                    value
+                )
+            return self.insert(ctx, table, new_values)
+        finally:
+            ctx.exit_op()
 
     # ------------------------------------------------------------------
     # Commit / abort
     # ------------------------------------------------------------------
 
     def commit(self, ctx: TransactionContext) -> Optional[int]:
-        """Commit; returns the commit id (None for read-only)."""
-        self._require_active(ctx)
-        if ctx.is_read_only:
-            ctx.state = TxnState.COMMITTED
-            self._txn_table.mark_free(ctx.slot)
-            del self.active[ctx.tid]
-            self.commits += 1
-            return None
-        cid = self._cids.last_cid + 1
-        if self._wal is not None:
-            # Durable point for the log-based engine.
-            self._wal.log_commit(ctx.tid, cid)
-        # Durable point for the NVM engine: COMMITTING state store.
-        self._txn_table.set_committing(ctx.slot, cid)
-        apply_operations(self._table_lookup, ctx.ops, cid)
-        self._cids.advance(cid)
-        self._txn_table.mark_free(ctx.slot)
-        ctx.state = TxnState.COMMITTED
-        ctx.cid = cid
-        del self.active[ctx.tid]
-        self.commits += 1
+        """Commit; returns the commit id (None for read-only).
+
+        The critical section under the commit lock is kept tiny — cid
+        allocation, commit-record append (no fsync), the durable NVM
+        commit point, the MVCC apply, and the cid advance. Applying
+        *before* advancing, both inside the lock, guarantees that once
+        a snapshot can read cid N, every commit ≤ N is fully applied.
+        The group-commit barrier (the fsync wait) runs after the lock
+        is released, so many committers amortise one fsync.
+        """
+        ctx.enter_op()
+        barrier_lsn: Optional[int] = None
+        try:
+            self._require_active(ctx)
+            if ctx.is_read_only:
+                with self._lock:
+                    ctx.state = TxnState.COMMITTED
+                    self._txn_table.mark_free(ctx.slot)
+                    del self.active[ctx.tid]
+                    self.commits += 1
+                return None
+            with self._lock:
+                cid = self._cids.last_cid + 1
+                if self._wal is not None:
+                    # Durable point for the log-based engine (once the
+                    # record reaches disk, per the group-commit policy).
+                    barrier_lsn = self._wal.append_commit(ctx.tid, cid)
+                # Durable point for the NVM engine: COMMITTING store.
+                self._txn_table.set_committing(ctx.slot, cid)
+                apply_operations(self._table_lookup, ctx.ops, cid)
+                self._cids.advance(cid)
+                self._txn_table.mark_free(ctx.slot)
+                ctx.state = TxnState.COMMITTED
+                ctx.cid = cid
+                del self.active[ctx.tid]
+                self.commits += 1
+        finally:
+            ctx.exit_op()
+        if barrier_lsn is not None:
+            self._wal.commit_barrier(barrier_lsn)
         return cid
 
     def abort(self, ctx: TransactionContext) -> None:
         """Roll back every operation and release the slot."""
-        self._require_active(ctx)
-        rollback_operations(self._table_lookup, ctx.ops)
-        if self._wal is not None:
-            self._wal.log_abort(ctx.tid)
-        self._txn_table.mark_free(ctx.slot)
-        ctx.state = TxnState.ABORTED
-        del self.active[ctx.tid]
-        self.aborts += 1
+        ctx.enter_op()
+        try:
+            self._require_active(ctx)
+            with self._lock:
+                rollback_operations(self._table_lookup, ctx.ops)
+                if self._wal is not None:
+                    self._wal.log_abort(ctx.tid)
+                self._txn_table.mark_free(ctx.slot)
+                ctx.state = TxnState.ABORTED
+                del self.active[ctx.tid]
+                self.aborts += 1
+        finally:
+            ctx.exit_op()
 
 
 def apply_operations(

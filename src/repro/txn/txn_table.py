@@ -25,6 +25,7 @@ Layout::
 
 from __future__ import annotations
 
+import threading
 from typing import Iterator
 
 from repro.nvm.pool import PMemPool
@@ -84,6 +85,10 @@ class PersistentTxnTable:
         ]
         self._tail_chunk: dict[int, int] = {}
         self._chunk_pool: list[int] = []
+        # Guards the volatile caches (free list, tail-chunk map, chunk
+        # pool) against concurrent begin/record/mark_free. Slot payload
+        # writes need no latch — a slot belongs to one transaction.
+        self._latch = threading.Lock()
 
     @classmethod
     def create(cls, pool: PMemPool, slot_count: int = DEFAULT_SLOTS) -> "PersistentTxnTable":
@@ -109,11 +114,12 @@ class PersistentTxnTable:
 
     def begin(self, tid: int) -> int:
         """Claim a slot for transaction ``tid``; returns the slot index."""
-        if not self._free:
-            raise TooManyActiveTransactions(
-                f"all {self.slot_count} transaction slots in use"
-            )
-        index = self._free.pop()
+        with self._latch:
+            if not self._free:
+                raise TooManyActiveTransactions(
+                    f"all {self.slot_count} transaction slots in use"
+                )
+            index = self._free.pop()
         slot = self._slot(index)
         pool = self._pool
         pool.write_u64(slot + _S_TID, tid)
@@ -128,20 +134,21 @@ class PersistentTxnTable:
         """Durably append one operation record to the slot's chain."""
         pool = self._pool
         slot = self._slot(index)
-        tail = self._tail_chunk.get(index, 0)
-        if tail == 0:
-            tail = self._new_chunk()
-            pool.write_u64(slot + _S_UNDO, tail)
-            pool.persist(slot + _S_UNDO, 8)
-            self._tail_chunk[index] = tail
-        count = pool.read_u64(tail + _C_COUNT)
-        if count == _CHUNK_RECORDS:
-            fresh = self._new_chunk()
-            pool.write_u64(tail + _C_NEXT, fresh)
-            pool.persist(tail + _C_NEXT, 8)
-            self._tail_chunk[index] = fresh
-            tail = fresh
-            count = 0
+        with self._latch:
+            tail = self._tail_chunk.get(index, 0)
+            if tail == 0:
+                tail = self._new_chunk()
+                pool.write_u64(slot + _S_UNDO, tail)
+                pool.persist(slot + _S_UNDO, 8)
+                self._tail_chunk[index] = tail
+            count = pool.read_u64(tail + _C_COUNT)
+            if count == _CHUNK_RECORDS:
+                fresh = self._new_chunk()
+                pool.write_u64(tail + _C_NEXT, fresh)
+                pool.persist(tail + _C_NEXT, 8)
+                self._tail_chunk[index] = fresh
+                tail = fresh
+                count = 0
         rec = tail + 16 + count * _RECORD_BYTES
         pool.write_u64(rec, kind)
         pool.write_u64(rec + 8, table_id)
@@ -180,11 +187,12 @@ class PersistentTxnTable:
         chunk = pool.read_u64(slot + _S_UNDO)
         pool.write_u64(slot + _S_STATE, SLOT_FREE)
         pool.persist(slot + _S_STATE, 8)
-        while chunk:
-            self._chunk_pool.append(chunk)
-            chunk = pool.read_u64(chunk + _C_NEXT)
-        self._tail_chunk.pop(index, None)
-        self._free.append(index)
+        with self._latch:
+            while chunk:
+                self._chunk_pool.append(chunk)
+                chunk = pool.read_u64(chunk + _C_NEXT)
+            self._tail_chunk.pop(index, None)
+            self._free.append(index)
 
     # ------------------------------------------------------------------
     # Introspection (recovery)
@@ -243,13 +251,15 @@ class VolatileTxnTable:
         self._records: list[list[tuple[int, int, int]]] = [
             [] for _ in range(slot_count)
         ]
+        self._latch = threading.Lock()
 
     def begin(self, tid: int) -> int:
-        if not self._free:
-            raise TooManyActiveTransactions(
-                f"all {self.slot_count} transaction slots in use"
-            )
-        index = self._free.pop()
+        with self._latch:
+            if not self._free:
+                raise TooManyActiveTransactions(
+                    f"all {self.slot_count} transaction slots in use"
+                )
+            index = self._free.pop()
         self._state[index] = SLOT_ACTIVE
         self._tid[index] = tid
         self._cid[index] = 0
@@ -265,7 +275,8 @@ class VolatileTxnTable:
 
     def mark_free(self, index: int) -> None:
         self._state[index] = SLOT_FREE
-        self._free.append(index)
+        with self._latch:
+            self._free.append(index)
 
     def state(self, index: int) -> int:
         return self._state[index]

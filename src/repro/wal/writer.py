@@ -1,23 +1,37 @@
-"""Log writer with group commit.
+"""Log writer with cross-transaction group commit.
 
 Implements the :class:`~repro.txn.manager.WalHook` protocol. Operation
 records are buffered through normal file writes (op order = file order,
 which lets replay reproduce physical row placement exactly); commit
 records trigger an fsync according to the group-commit policy:
 
-* ``group_size == 1`` — synchronous commit, one fsync per transaction
-  (the strongest, slowest baseline);
+* ``group_size == 1`` — synchronous commit: every transaction waits for
+  its commit record to be durable before it is acknowledged. Under
+  concurrency one **leader** fsyncs on behalf of every commit that
+  reached the file by then; the followers block on the commit barrier
+  and are released together (single-threaded this degenerates to one
+  fsync per transaction, the strongest, slowest baseline);
 * ``group_size == N`` — at most one fsync per N commits, amortising the
   disk round-trip (the paper-era standard);
-* ``group_size == 0`` — asynchronous: fsync only on checkpoint/close
-  (upper bound on log throughput, relaxed durability).
+* ``group_size == 0`` — asynchronous commit: transactions are
+  acknowledged as soon as the record is in the file; fsync happens only
+  on checkpoint/close. The acked-but-not-durable window is surfaced as
+  ``wal_commits_acked_total`` vs ``wal_commits_durable_total``.
+
+Concurrent committers use :meth:`append_commit` (enqueue the record,
+returns its LSN) followed by :meth:`commit_barrier` (wait until the
+policy says the commit is acknowledgeable). The legacy ``log_commit``
+entry point keeps the original self-contained semantics for
+single-threaded callers.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import threading
 import time
+from collections import deque
 from typing import Optional, Sequence
 
 from repro.nvm.latency import persistence_event
@@ -39,17 +53,36 @@ from repro.wal.records import (
 class LogWriter:
     """Appends framed records to the log file."""
 
-    def __init__(self, path: str, group_size: int = 1):
+    def __init__(
+        self, path: str, group_size: int = 1, fsync_delay_s: float = 0.0
+    ):
         if group_size < 0:
             raise ValueError("group_size must be >= 0")
         self._path = path
         self._file = open(path, "ab")
         self._group_size = group_size
+        # Modelled device latency added to every fsync. Implemented
+        # with a GIL-releasing sleep so concurrent committers genuinely
+        # overlap their barrier waits (E12 sweeps this).
+        self._fsync_delay_s = fsync_delay_s
         self._pending_commits = 0
         self.records_written = 0
         self.syncs = 0
         self.bytes_written = os.path.getsize(path)
         self._synced_lsn = self.bytes_written
+        # Group-commit coordinator state. ``_append_lock`` serialises
+        # record appends (file writes + byte accounting); ``_sync_cond``
+        # guards the leader election: at most one thread fsyncs at a
+        # time, followers wait on the condition until the durable
+        # frontier covers their commit LSN.
+        self._append_lock = threading.Lock()
+        self._sync_cond = threading.Condition()
+        self._sync_in_progress = False
+        # End-LSNs of commit records not yet durable, in append order —
+        # drained as the frontier advances to count group sizes.
+        self._pending_commit_lsns: deque[int] = deque()
+        self.commits_acked = 0
+        self.commits_durable = 0
         self._instruments_generation = -1
         self._refresh_instruments()
 
@@ -59,6 +92,14 @@ class LogWriter:
         self._records_counter = registry.counter("wal_records_total")
         self._bytes_counter = registry.counter("wal_bytes_written_total")
         self._fsync_histogram = registry.histogram("wal_fsync_seconds")
+        self._acked_counter = registry.counter("wal_commits_acked_total")
+        self._durable_counter = registry.counter("wal_commits_durable_total")
+        self._group_size_histogram = registry.histogram(
+            "wal_group_commit_size"
+        )
+        self._fsync_wait_histogram = registry.histogram(
+            "wal_fsync_wait_seconds"
+        )
         self._instruments_generation = generation()
 
     @property
@@ -70,30 +111,120 @@ class LogWriter:
         """Current end-of-log byte offset (all records written so far)."""
         return self.bytes_written
 
-    def _write(self, record: LogRecord) -> None:
+    def _write(self, record: LogRecord) -> int:
+        """Append one framed record; returns its end-LSN."""
         frame = encode_record(record)
-        self._file.write(frame)
-        self.bytes_written += len(frame)
-        self.records_written += 1
+        with self._append_lock:
+            self._file.write(frame)
+            self.bytes_written += len(frame)
+            end_lsn = self.bytes_written
+            self.records_written += 1
         if self._instruments_generation != generation():
             self._refresh_instruments()
         self._records_counter.inc()
         self._bytes_counter.inc(len(frame))
+        return end_lsn
 
     def sync(self) -> None:
         """Force everything written so far to stable storage."""
-        # Crash-point boundary: a simulated power failure raised here
-        # means nothing past the previous sync became durable.
-        persistence_event("wal_fsync")
+        self._sync_to(self.bytes_written)
+
+    def _sync_to(self, target: int) -> None:
+        """Make every byte up to ``target`` durable (leader/follower).
+
+        The first thread to arrive while no fsync is running becomes
+        the **leader**: it flushes and fsyncs once, covering every
+        record appended by then — including followers that enqueued
+        after it was elected. Followers block on the condition variable
+        until the durable frontier reaches their target. A leader that
+        dies (the crash injector raises out of the persistence event)
+        releases the barrier from its ``finally`` so each follower
+        re-elects itself and hits the same failure instead of hanging.
+        """
+        with self._sync_cond:
+            while True:
+                if self._synced_lsn >= target:
+                    return
+                if not self._sync_in_progress:
+                    self._sync_in_progress = True
+                    break
+                self._sync_cond.wait()
+        frontier = self._synced_lsn
+        try:
+            # Crash-point boundary: a simulated power failure raised here
+            # means nothing past the previous sync became durable.
+            persistence_event("wal_fsync")
+            t0 = time.perf_counter()
+            with self._append_lock:
+                self._file.flush()
+                frontier = self.bytes_written
+            os.fsync(self._file.fileno())
+            if self._fsync_delay_s:
+                # Modelled device latency; sleep releases the GIL so
+                # other committers keep appending meanwhile.
+                time.sleep(self._fsync_delay_s)
+            if self._instruments_generation != generation():
+                self._refresh_instruments()
+            self._fsync_histogram.observe(time.perf_counter() - t0)
+            self.syncs += 1
+            group = 0
+            with self._append_lock:
+                self._pending_commits = 0
+                pending = self._pending_commit_lsns
+                while pending and pending[0] <= frontier:
+                    pending.popleft()
+                    group += 1
+            if group:
+                self.commits_durable += group
+                self._durable_counter.inc(group)
+                self._group_size_histogram.observe(group)
+        finally:
+            with self._sync_cond:
+                self._synced_lsn = max(self._synced_lsn, frontier)
+                self._sync_in_progress = False
+                self._sync_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Group-commit coordinator (concurrent committers)
+    # ------------------------------------------------------------------
+
+    def append_commit(self, tid: int, cid: int) -> int:
+        """Enqueue a commit record; returns its end-LSN.
+
+        Called inside the manager's commit critical section. The
+        durability wait happens later, outside that section, in
+        :meth:`commit_barrier`.
+        """
+        end_lsn = self._write(CommitRecord(tid, cid))
+        with self._append_lock:
+            self._pending_commits += 1
+            self._pending_commit_lsns.append(end_lsn)
+        return end_lsn
+
+    def commit_barrier(self, lsn: int) -> None:
+        """Block until the commit at ``lsn`` is acknowledgeable.
+
+        * sync (``group_size == 1``): wait until ``lsn`` is durable —
+          one leader fsyncs for the whole group of waiters;
+        * batch (``group_size == N``): fsync only when N commits are
+          pending, like the legacy policy;
+        * async (``group_size == 0``): return immediately — the commit
+          is acked while possibly not yet durable (the gap is visible
+          as acked minus durable).
+        """
         t0 = time.perf_counter()
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        if self._group_size == 1:
+            self._sync_to(lsn)
+        elif self._group_size:
+            with self._append_lock:
+                trigger = self._pending_commits >= self._group_size
+            if trigger:
+                self._sync_to(lsn)
         if self._instruments_generation != generation():
             self._refresh_instruments()
-        self._fsync_histogram.observe(time.perf_counter() - t0)
-        self.syncs += 1
-        self._pending_commits = 0
-        self._synced_lsn = self.bytes_written
+        self.commits_acked += 1
+        self._acked_counter.inc()
+        self._fsync_wait_histogram.observe(time.perf_counter() - t0)
 
     # ------------------------------------------------------------------
     # WalHook interface
@@ -114,10 +245,19 @@ class LogWriter:
         self._write(InvalidateRecord(tid, table_id, ref))
 
     def log_commit(self, tid: int, cid: int) -> None:
-        self._write(CommitRecord(tid, cid))
-        self._pending_commits += 1
-        if self._group_size and self._pending_commits >= self._group_size:
-            self.sync()
+        """Self-contained commit append + policy sync (legacy path)."""
+        end_lsn = self._write(CommitRecord(tid, cid))
+        with self._append_lock:
+            self._pending_commits += 1
+            self._pending_commit_lsns.append(end_lsn)
+            trigger = (
+                bool(self._group_size)
+                and self._pending_commits >= self._group_size
+            )
+        if trigger:
+            self._sync_to(end_lsn)
+        self.commits_acked += 1
+        self._acked_counter.inc()
 
     def log_abort(self, tid: int) -> None:
         self._write(AbortRecord(tid))

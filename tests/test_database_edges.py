@@ -1,5 +1,6 @@
 """Edge cases of the engine facade that the main suites don't touch."""
 
+import gc
 import os
 
 import pytest
@@ -164,10 +165,15 @@ class TestResourceSafety:
         extent0 = os.path.join(path, "pmem", "extent_0000.pm")
         with open(extent0, "r+b") as f:
             f.write(b"\xde\xad\xbe\xef\xde\xad\xbe\xef")  # smash the magic
+        # Settle cycles from earlier tests first: a gen-2 collection
+        # firing mid-loop would release their deferred mmap handles and
+        # skew the count we are asserting on.
+        gc.collect()
         before = self._open_fds()
         for _ in range(5):
             with pytest.raises(Exception, match="magic|corrupt"):
                 Database(path, make_config(DurabilityMode.NVM))
+        gc.collect()
         assert self._open_fds() == before
 
     def test_missing_catalog_root_releases_pool(self, tmp_path):
