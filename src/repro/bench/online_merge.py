@@ -1,0 +1,154 @@
+"""E13 measurement core: foreground write stalls during a merge.
+
+One writer thread hammers single-row autocommit inserts against a table
+whose delta holds the whole dataset, while the main thread runs one
+merge — either the stop-the-world baseline (``online=False``, the
+operations gate held exclusively for the entire rebuild) or the
+incremental online merge (``online=True``, writers paused only for the
+freeze and the cutover). Every insert's latency is recorded; the
+statistic that matters is the p99 over the inserts whose lifetime
+overlaps the merge window: under the blocking merge that percentile is
+the merge duration itself (the unlucky insert sits at the gate for the
+whole fold), under the online merge it stays near the idle-path latency.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import threading
+import time
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.storage.types import DataType
+from repro.txn.errors import TransactionConflict
+
+SCHEMA = {
+    "id": DataType.INT64,
+    "name": DataType.STRING,
+    "qty": DataType.INT64,
+    "score": DataType.FLOAT64,
+}
+
+#: Rows per bulk-load batch while building the delta.
+_LOAD_BATCH = 100_000
+
+
+def _make_rows(n: int, offset: int = 0) -> list[dict]:
+    return [
+        {
+            "id": offset + i,
+            "name": f"sku-{(offset + i) % 64}",
+            "qty": (offset + i) % 1000,
+            "score": float((offset + i) % 997) * 0.5,
+        }
+        for i in range(n)
+    ]
+
+
+def _p99(latencies: list[float]) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def measure_merge_stall(
+    rows: int,
+    online: bool,
+    *,
+    mode: DurabilityMode = DurabilityMode.NONE,
+    chunk_rows: int = 65_536,
+) -> dict:
+    """Run one merge of ``rows`` delta rows against a hammering writer.
+
+    Returns ``{"merge_s", "p99_ms", "max_ms", "samples", "inserted"}``
+    where the latency figures cover the inserts overlapping the merge
+    window and ``inserted`` is the writer's total committed inserts
+    (all of which must survive — the caller's consistency check).
+    """
+    path = tempfile.mkdtemp(prefix="e13-")
+    try:
+        db = Database(
+            path,
+            EngineConfig(
+                mode=mode,
+                extent_size=8 * 1024 * 1024,
+                merge_chunk_rows=chunk_rows,
+                merge_cutover_timeout_s=30.0,
+            ),
+        )
+        db.create_table("orders", SCHEMA)
+        for lo in range(0, rows, _LOAD_BATCH):
+            db.bulk_insert("orders", _make_rows(min(_LOAD_BATCH, rows - lo), lo))
+
+        samples: list[tuple[float, float]] = []
+        stop = threading.Event()
+        started = threading.Event()
+
+        def writer() -> None:
+            i = 0
+            while not stop.is_set():
+                key = rows + i
+                i += 1
+                t0 = time.perf_counter()
+                while True:
+                    try:
+                        db.insert(
+                            "orders",
+                            {"id": key, "name": "fg", "qty": 1, "score": 0.0},
+                        )
+                        break
+                    except TransactionConflict:
+                        continue  # cutover moved the rows: retry
+                samples.append((t0, time.perf_counter()))
+                started.set()
+
+        thread = threading.Thread(target=writer, daemon=True)
+        thread.start()
+        if not started.wait(timeout=10.0):
+            raise RuntimeError("foreground writer never started")
+
+        merge_start = time.perf_counter()
+        db.merge("orders", online=online)
+        merge_end = time.perf_counter()
+
+        time.sleep(0.01)  # let a few post-merge inserts land too
+        stop.set()
+        thread.join(timeout=30.0)
+        if thread.is_alive():
+            raise RuntimeError("foreground writer failed to stop")
+
+        inserted = len(samples)
+        assert db.query("orders").count == rows + inserted
+        db.close()
+
+        during = [
+            end - start
+            for start, end in samples
+            if start < merge_end and end > merge_start
+        ]
+        if not during:  # merge faster than one insert: nothing stalled
+            during = [end - start for start, end in samples]
+        return {
+            "merge_s": merge_end - merge_start,
+            "p99_ms": _p99(during) * 1e3,
+            "max_ms": max(during) * 1e3,
+            "samples": len(during),
+            "inserted": inserted,
+        }
+    finally:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def compare_merge_stall(rows: int, *, chunk_rows: int = 65_536) -> dict:
+    """One E13 table row: blocking vs online at the same dataset size."""
+    blocking = measure_merge_stall(rows, online=False, chunk_rows=chunk_rows)
+    online = measure_merge_stall(rows, online=True, chunk_rows=chunk_rows)
+    return {
+        "rows": rows,
+        "blocking_merge_s": blocking["merge_s"],
+        "blocking_p99_ms": blocking["p99_ms"],
+        "online_merge_s": online["merge_s"],
+        "online_p99_ms": online["p99_ms"],
+        "p99_reduction": blocking["p99_ms"] / online["p99_ms"],
+    }

@@ -524,6 +524,18 @@ def run_e12(quick: bool) -> str:
     )
 
 
+def run_e13(quick: bool) -> str:
+    from repro.bench.online_merge import compare_merge_stall
+
+    sizes = [100_000] if quick else [200_000, 1_000_000]
+    rows_out = [compare_merge_stall(rows) for rows in sizes]
+    return _finish(
+        "E13",
+        rows_out,
+        "E13: foreground insert p99 during merge, blocking vs online",
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -536,6 +548,7 @@ EXPERIMENTS = {
     "E10": run_e10,
     "E11": run_e11,
     "E12": run_e12,
+    "E13": run_e13,
 }
 
 # Raw rows exported by runners that support --json (keyed by experiment).

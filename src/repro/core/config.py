@@ -73,10 +73,29 @@ class EngineConfig:
     #: rowref stability across restarts; disable only in experiments that
     #: never merge).
     checkpoint_after_merge: bool = True
-    #: Merge a table automatically once its delta exceeds this many rows
-    #: (checked after commits while no other transaction is active).
-    #: None disables auto-merging.
+    #: Merge a table automatically once its delta exceeds this many rows.
+    #: Commits wake the background maintenance daemon, which runs the
+    #: merge *online* (concurrently with readers and writers). None
+    #: disables the row-count trigger.
     auto_merge_rows: Optional[int] = None
+    #: Additionally trigger a merge when the delta holds at least this
+    #: fraction of a table's rows (and the table is non-trivial — see
+    #: ``merge_delta_fraction_floor``). None disables the fraction
+    #: trigger. Either trigger enables the maintenance daemon.
+    merge_delta_fraction: Optional[float] = None
+    #: Minimum delta rows before the fraction trigger applies (avoids
+    #: merging tiny tables over and over).
+    merge_delta_fraction_floor: int = 1024
+    #: Rows per fold chunk of the online merge. A ``merge_chunk``
+    #: persistence-boundary event fires and the GIL yields between
+    #: chunks, bounding how long the fold can starve foreground work.
+    merge_chunk_rows: int = 65536
+    #: How long a merge cutover keeps retrying to find a moment with no
+    #: transaction holding operations on the table before giving up
+    #: (the merge is abandoned and retried later).
+    merge_cutover_timeout_s: float = 5.0
+    #: Poll interval of the background maintenance daemon.
+    maintenance_interval_s: float = 0.05
 
     def validated(self) -> "EngineConfig":
         if self.shards < 1:
@@ -91,4 +110,18 @@ class EngineConfig:
             raise ValueError("txn_slots must be >= 1")
         if self.mode is not DurabilityMode.NVM and self.persistent_dict_index:
             raise ValueError("persistent_dict_index requires NVM mode")
+        if self.auto_merge_rows is not None and self.auto_merge_rows < 1:
+            raise ValueError("auto_merge_rows must be >= 1")
+        if self.merge_delta_fraction is not None and not (
+            0.0 < self.merge_delta_fraction <= 1.0
+        ):
+            raise ValueError("merge_delta_fraction must be in (0, 1]")
+        if self.merge_delta_fraction_floor < 0:
+            raise ValueError("merge_delta_fraction_floor must be >= 0")
+        if self.merge_chunk_rows < 1:
+            raise ValueError("merge_chunk_rows must be >= 1")
+        if self.merge_cutover_timeout_s <= 0:
+            raise ValueError("merge_cutover_timeout_s must be > 0")
+        if self.maintenance_interval_s <= 0:
+            raise ValueError("maintenance_interval_s must be > 0")
         return self

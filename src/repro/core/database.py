@@ -37,17 +37,28 @@ from typing import Optional, Sequence, Union
 
 import time
 
+import numpy as np
+
 from repro.core.config import EngineConfig
 from repro.core.durability import DurabilityDriver, create_driver
+from repro.core.maintenance import MaintenanceDaemon
+from repro.index.groupkey import GroupKeyIndex
 from repro.index.table_index import TableIndex
 from repro.nvm.pool import PMemPool
-from repro.obs import get_registry, trace_phase
+from repro.obs import boundary, get_registry, trace_phase
 from repro.query.predicate import Predicate
 from repro.query.scan import ScanResult, scan
 from repro.recovery.report import RecoveryReport
 from repro.storage.schema import ColumnDef, Schema
 from repro.storage.table import Table, unpack_rowref
-from repro.storage.merge import merge_table
+from repro.storage.merge import (
+    MergePlan,
+    _uses_persistent_index,
+    fixup_mvcc,
+    fold_generation,
+    freeze_plan,
+    rebuild_tail_delta,
+)
 from repro.storage.types import DataType
 from repro.txn.context import TransactionContext
 
@@ -116,6 +127,10 @@ class Transaction:
     ) -> ScanResult:
         """Scan within this transaction's snapshot (sees own writes)."""
         table = self._db.table(table_name)
+        # Pin the generation the returned refs belong to: consuming one
+        # after an online-merge cutover raises a retryable conflict
+        # instead of silently addressing the wrong row.
+        self.ctx.note_table_generation(table)
         index = self._db._pick_index(table, predicate)
         return scan(table, predicate=predicate, ctx=self.ctx, index=index)
 
@@ -123,7 +138,7 @@ class Transaction:
         """Commit; returns the commit id (None when read-only)."""
         touched = {table_id for _, table_id, _ in self.ctx.ops}
         cid = self._db._manager.commit(self.ctx)
-        self._db._maybe_auto_merge(touched)
+        self._db._maintenance.notify(touched)
         return cid
 
     def abort(self) -> None:
@@ -162,8 +177,9 @@ class Database:
         # calls here. Coarse by design — index upkeep is cheap next to
         # encode + WAL work, which stays outside.
         self._index_lock = threading.Lock()
-        # Opportunistic maintenance (auto-merge): at most one thread
-        # attempts it; everyone else skips rather than queueing up.
+        # Merges are serialised engine-wide: one fold at a time keeps
+        # the memory high-water mark bounded and the cutover reasoning
+        # simple. Foreground work never waits on this lock.
         self._maint_lock = threading.Lock()
         self.last_recovery: Optional[RecoveryReport] = None
         os.makedirs(path, exist_ok=True)
@@ -174,6 +190,8 @@ class Database:
         registry.histogram("engine_recovery_seconds", mode=self.mode.value).observe(
             self.last_recovery.total_seconds
         )
+        self._maintenance = MaintenanceDaemon(self)
+        self._maintenance.start()
 
     # ------------------------------------------------------------------
     # Registry helpers
@@ -283,11 +301,19 @@ class Database:
 
     def _index_new_rows(self, table: Table, refs: Sequence[int]) -> None:
         indexes = self._indexes.get(table.table_id)
-        if not indexes:
+        if not indexes or not refs:
             return
+        # insert_many places the batch contiguously, so index upkeep is
+        # one sliced code gather + one add_many per index instead of a
+        # python loop over rows.
+        is_delta, first = unpack_rowref(refs[0])
+        assert is_delta, "new rows always land in the delta"
+        n = len(refs)
+        delta = table.delta
         with self._index_lock:
-            for ref in refs:
-                self._index_new_row_locked(table, ref, indexes)
+            for column, index in indexes.items():
+                ci = table.schema.column_index(column)
+                index.on_insert_many(delta.column_codes(ci)[first : first + n], first)
 
     def _pick_index(
         self, table: Table, predicate: Optional[Predicate]
@@ -328,29 +354,6 @@ class Database:
         txn.commit()
         return refs
 
-    def _maybe_auto_merge(self, table_ids) -> None:
-        threshold = self.config.auto_merge_rows
-        if not threshold or self._manager.active_count:
-            return
-        # Non-blocking: if another thread is already merging (or probing
-        # for one), skip — the next commit will re-check. Merging
-        # requires quiescence anyway, so queueing writers here would
-        # only serialise them behind work that must then be abandoned.
-        if not self._maint_lock.acquire(blocking=False):
-            return
-        try:
-            for table_id in table_ids:
-                table = self._tables_by_id.get(table_id)
-                if table is not None and table.delta_row_count >= threshold:
-                    try:
-                        self.merge(table.name)
-                    except RuntimeError:
-                        # A transaction began between the quiescence
-                        # check and the merge; drop the attempt.
-                        return
-        finally:
-            self._maint_lock.release()
-
     def bulk_insert(
         self, table_name: str, rows: Sequence[dict], _cid: Optional[int] = None
     ) -> int:
@@ -366,65 +369,223 @@ class Database:
             return self._manager.last_cid
         schema = table.schema
         value_rows = [schema.validate_row(row) for row in rows]
-        columns = table.delta.encode_columns(
-            [[values[ci] for values in value_rows] for ci in range(len(schema))]
-        )
-        cid = self._manager.last_cid + 1 if _cid is None else _cid
-        self._driver.log_bulk_load(table, value_rows, cid)
-        # The commit id must be durable *before* any row publishes with
-        # it: bulk loads bypass the transaction table, so no fix-up pass
-        # can repair a crash that lands between the begin-vector publish
-        # and the counter advance — recovery would resurrect rows
-        # stamped with a commit id the engine never issued
-        # (begin_cid > last_cid). Advancing first leaves at worst a
-        # harmless cid gap when the crash hits before the publish.
-        self._manager._cids.advance(cid)
-        first = table.delta.bulk_load(columns, begin_cid=cid)
-        indexes = self._indexes.get(table.table_id)
-        if indexes:
-            for column, index in indexes.items():
-                ci = schema.column_index(column)
-                for offset in range(len(rows)):
-                    index.on_insert(int(columns[ci][offset]), first + offset)
-        self._maybe_auto_merge({table.table_id})
+        # Bulk loads bypass the transaction manager, so the merge cutover
+        # cannot see them through the active-transaction check — the ops
+        # gate is what keeps a load's encode/publish/index sequence on
+        # one generation.
+        with table.ops_gate.shared():
+            columns = table.delta.encode_columns(
+                [[values[ci] for values in value_rows] for ci in range(len(schema))]
+            )
+            cid = self._manager.last_cid + 1 if _cid is None else _cid
+            self._driver.log_bulk_load(table, value_rows, cid)
+            # The commit id must be durable *before* any row publishes with
+            # it: bulk loads bypass the transaction table, so no fix-up pass
+            # can repair a crash that lands between the begin-vector publish
+            # and the counter advance — recovery would resurrect rows
+            # stamped with a commit id the engine never issued
+            # (begin_cid > last_cid). Advancing first leaves at worst a
+            # harmless cid gap when the crash hits before the publish.
+            self._manager._cids.advance(cid)
+            first = table.delta.bulk_load(columns, begin_cid=cid)
+            indexes = self._indexes.get(table.table_id)
+            if indexes:
+                with self._index_lock:
+                    for column, index in indexes.items():
+                        ci = schema.column_index(column)
+                        index.on_insert_many(
+                            np.asarray(columns[ci], dtype=np.uint32), first
+                        )
+        self._maintenance.notify({table.table_id})
         return cid
 
     # ------------------------------------------------------------------
     # Maintenance: merge and checkpoint
     # ------------------------------------------------------------------
 
-    def merge(self, table_name: str) -> None:
-        """Fold the delta into a new main generation (quiesced only)."""
-        if self._manager.active_count:
-            raise RuntimeError(
-                f"cannot merge with {self._manager.active_count} active txns"
-            )
+    def merge(self, table_name: str, online: bool = True) -> None:
+        """Fold the delta into a new main generation.
+
+        ``online=True`` (the default) runs the incremental merge:
+        writers are paused only for the freeze and the cutover (each a
+        short critical section); the fold between them runs concurrently
+        with foreground work, yielding at every ``merge_chunk_rows``
+        boundary. ``online=False`` is the stop-the-world baseline: the
+        operations gate is held exclusively for the whole rebuild (what
+        experiment E13 compares against).
+
+        Raises ``RuntimeError`` when a transaction held operations on
+        the table for longer than ``merge_cutover_timeout_s`` — the old
+        generation stays live and the merge can simply be retried.
+        """
         table = self.table(table_name)
         t0 = time.perf_counter()
-        with trace_phase("merge", table=table_name):
-            new_main, new_delta = merge_table(table, self.backend)
-            old_indexes = self._indexes[table.table_id]
-            table.main = new_main
-            table.delta = new_delta
-            table.generation += 1
-            with trace_phase("index_rebuild"):
-                new_indexes = {
-                    column: TableIndex.build(
-                        self.backend,
-                        table,
-                        column,
-                        persistent_delta=not old.delta_index.needs_rebuild_after_restart,
-                    )
-                    for column, old in old_indexes.items()
-                }
-            self._indexes[table.table_id] = new_indexes
-            with trace_phase("publish"):
-                self._driver.on_merge(table)
+        with self._maint_lock:
+            with trace_phase("merge", table=table_name, online=online):
+                if online:
+                    self._merge_online(table)
+                else:
+                    self._merge_blocking(table)
         registry = get_registry()
         registry.counter("engine_merges_total").inc()
         registry.histogram("engine_merge_seconds").observe(
             time.perf_counter() - t0
         )
+        # Post-cutover housekeeping (LOG-mode checkpoint) runs outside
+        # every lock: it is an optimisation, not a correctness step —
+        # the merge record already makes the new layout recoverable.
+        self._driver.on_merge_complete(table)
+
+    # -- online-merge machinery ----------------------------------------
+
+    def _merge_online(self, table: Table) -> None:
+        cfg = self.config
+        # Freeze: a short exclusive window to capture the watermark and
+        # the survivor plan. Writers blocked here resume as soon as the
+        # plan exists and append past the watermark while we fold.
+        self._acquire_gate(table, "freeze")
+        try:
+            with self._manager._lock:
+                plan = self._freeze_locked(table)
+        finally:
+            table.ops_gate.release_exclusive()
+        new_main = fold_generation(
+            table,
+            plan,
+            self.backend,
+            chunk_rows=cfg.merge_chunk_rows,
+            on_chunk=self._merge_chunk_yield,
+        )
+        group_keys = self._group_keys_for(table, new_main)
+        # Cutover: wait for a moment when no transaction holds
+        # operations on the table (their rowrefs would dangle across the
+        # swap), bounded by the configured timeout. Between attempts the
+        # gate is released so foreground work keeps flowing.
+        deadline = time.monotonic() + cfg.merge_cutover_timeout_s
+        pause = 0.0005
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"merge cutover timed out on {table.name!r}: a "
+                    "transaction held operations on the table for the "
+                    "whole window; the merge was abandoned (retry later)"
+                )
+            if table.ops_gate.acquire_exclusive(remaining):
+                try:
+                    with self._manager._lock:
+                        if not self._ops_on_table(table):
+                            self._cutover_locked(table, plan, new_main, group_keys)
+                            return
+                finally:
+                    table.ops_gate.release_exclusive()
+            time.sleep(pause)
+            pause = min(pause * 2, 0.02)
+
+    def _merge_blocking(self, table: Table) -> None:
+        """Stop-the-world merge: gate held exclusively throughout."""
+        self._acquire_gate(table, "begin")
+        try:
+            deadline = time.monotonic() + self.config.merge_cutover_timeout_s
+            while True:
+                with self._manager._lock:
+                    if not self._ops_on_table(table):
+                        plan = self._freeze_locked(table)
+                        break
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"cannot merge {table.name!r}: a transaction held "
+                        "operations on the table for the whole window"
+                    )
+                time.sleep(0.001)
+            # With the gate held no new operation can start, so the
+            # no-ops condition above still holds at cutover.
+            new_main = fold_generation(table, plan, self.backend)
+            group_keys = self._group_keys_for(table, new_main)
+            with self._manager._lock:
+                self._cutover_locked(table, plan, new_main, group_keys)
+        finally:
+            table.ops_gate.release_exclusive()
+
+    def _acquire_gate(self, table: Table, what: str) -> None:
+        if not table.ops_gate.acquire_exclusive(
+            self.config.merge_cutover_timeout_s
+        ):
+            raise RuntimeError(
+                f"merge {what} timed out waiting for writers on {table.name!r}"
+            )
+
+    def _merge_chunk_yield(self) -> None:
+        boundary.emit("merge_chunk")
+        time.sleep(0)  # yield the GIL to foreground threads
+
+    def _freeze_locked(self, table: Table) -> MergePlan:
+        """Capture the merge plan (gate exclusive + manager lock held)."""
+        snapshots = [
+            ctx.snapshot_cid for ctx in self._manager.active.values()
+        ]
+        horizon = min(min(snapshots, default=self._manager.last_cid),
+                      self._manager.last_cid)
+        return freeze_plan(table, horizon=horizon, carry_uncommitted=True)
+
+    def _ops_on_table(self, table: Table) -> bool:
+        table_id = table.table_id
+        return any(
+            op_table == table_id
+            for ctx in self._manager.active.values()
+            for _, op_table, _ in ctx.ops
+        )
+
+    def _group_keys_for(self, table: Table, new_main) -> dict[str, GroupKeyIndex]:
+        """Pre-build the main-half group-key indexes during the fold
+        phase, so the cutover critical section only assembles them."""
+        out: dict[str, GroupKeyIndex] = {}
+        for column in self._indexes.get(table.table_id, {}):
+            ci = table.schema.column_index(column)
+            out[column] = GroupKeyIndex.build(self.backend, new_main.columns[ci])
+        return out
+
+    def _cutover_locked(
+        self,
+        table: Table,
+        plan: MergePlan,
+        new_main,
+        group_keys: dict[str, GroupKeyIndex],
+    ) -> None:
+        """Publish the new generation (gate exclusive + manager lock held).
+
+        Everything up to the ``merge_cutover`` boundary event builds new
+        structures on the side; nothing live is mutated except the new
+        generation's own MVCC columns (the fix-up scatter). A crash
+        anywhere before the durable publish recovers the old generation.
+        """
+        old_indexes = self._indexes[table.table_id]
+        fixup_mvcc(new_main, plan, table.main.mvcc, table.delta.mvcc)
+        new_delta = rebuild_tail_delta(
+            table,
+            plan.watermark,
+            self.backend,
+            persistent_dict_index=_uses_persistent_index(table.delta),
+        )
+        with trace_phase("index_rebuild"):
+            new_indexes = {
+                column: TableIndex.from_parts(
+                    self.backend,
+                    table.schema,
+                    column,
+                    new_main,
+                    new_delta,
+                    persistent_delta=not old.delta_index.needs_rebuild_after_restart,
+                    group_key=group_keys.get(column),
+                )
+                for column, old in old_indexes.items()
+            }
+        boundary.emit("merge_cutover")
+        self._indexes[table.table_id] = new_indexes
+        table.publish_content(new_main, new_delta)
+        table.generation += 1
+        with trace_phase("publish"):
+            self._driver.on_merge(table, plan)
 
     def checkpoint(self) -> int:
         """LOG mode: write a full snapshot; returns bytes written."""
@@ -438,6 +599,7 @@ class Database:
         """Orderly shutdown (marks the pool clean / syncs the log)."""
         if self._closed:
             return
+        self._maintenance.stop()
         self._driver.close()
         self._closed = True
 
@@ -445,6 +607,7 @@ class Database:
         """Simulate a power failure (unflushed state is lost)."""
         if self._closed:
             return
+        self._maintenance.stop()
         self._driver.crash(survivor_fraction=survivor_fraction, seed=seed)
         self._closed = True
 

@@ -91,8 +91,19 @@ class DurabilityDriver(ABC):
     def on_table_dropped(self, table: Table) -> None:
         """Durably drop a table (called after facade deregistration)."""
 
-    def on_merge(self, table: Table) -> None:
-        """Publish a freshly merged generation."""
+    def on_merge(self, table: Table, plan=None) -> None:
+        """Durably publish a freshly merged generation.
+
+        Called inside the cutover critical section, right after the
+        in-memory swap: no commit can interleave, so the durable image
+        transitions atomically from the old layout to the new one.
+        ``plan`` is the :class:`~repro.storage.merge.MergePlan` the fold
+        ran from (the LOG driver serialises its masks so replay can
+        repeat the merge deterministically).
+        """
+
+    def on_merge_complete(self, table: Table) -> None:
+        """Post-cutover housekeeping, called outside every lock."""
 
     @property
     def persistent_delta_index(self) -> bool:
@@ -206,7 +217,9 @@ class NvmDriver(DurabilityDriver):
     def on_table_dropped(self, table: Table) -> None:
         self._catalog.mark_dropped(table.table_id)
 
-    def on_merge(self, table: Table) -> None:
+    def on_merge(self, table: Table, plan=None) -> None:
+        # The content descriptor swap is the durable cutover: one atomic
+        # pointer store after the new generation's structures persist.
         self._catalog.publish_content(table, self._db._indexes[table.table_id])
 
     @property
@@ -382,9 +395,30 @@ class LogDriver(VolatileDriver):
         self._wal.log_drop_table(table.table_id)
         self._save_meta()
 
-    def on_merge(self, table: Table) -> None:
-        if self.config.checkpoint_after_merge:
+    def on_merge(self, table: Table, plan=None) -> None:
+        # One merge record makes the cutover replayable: it sits after
+        # every commit whose effects the fold consumed (the cutover's
+        # critical section excludes commits), so replay reaches it with
+        # exactly the MVCC state the fold saw and can repeat the fold
+        # deterministically from the serialised masks.
+        if plan is not None:
+            self._wal.log_merge(
+                table.table_id,
+                plan.watermark,
+                plan.main_mask,
+                plan.delta_mask,
+            )
+
+    def on_merge_complete(self, table: Table) -> None:
+        # A checkpoint shrinks the replay tail but is no longer required
+        # for correctness (the merge record is). Best-effort: skip when
+        # transactions are active — an online merge does not quiesce.
+        if not self.config.checkpoint_after_merge:
+            return
+        try:
             self.checkpoint()
+        except RuntimeError:
+            pass
 
     def log_bulk_load(
         self, table: Table, value_rows: Sequence[Sequence], cid: int

@@ -376,7 +376,13 @@ class NvmCatalog:
                 delta_index = PersistentDeltaIndex.attach(backend, phash_off)
             else:
                 delta_index = VolatileDeltaIndex()
-            out[column] = TableIndex(column, group_key, delta_index)
+            out[column] = TableIndex(
+                column,
+                group_key,
+                delta_index,
+                main_part=main,
+                delta_part=delta,
+            )
         return out
 
     def attach_tables(self) -> list[tuple[Table, dict[str, TableIndex], bool]]:

@@ -464,9 +464,13 @@ class ShardedEngine:
     # Maintenance
     # ------------------------------------------------------------------
 
-    def merge(self, table_name: str) -> None:
+    def merge(self, table_name: str, online: bool = True) -> None:
         """Merge the table's delta into main on every shard (parallel)."""
-        self._fan_out(lambda shard: shard.merge(table_name), self.shards, op="merge")
+        self._fan_out(
+            lambda shard: shard.merge(table_name, online=online),
+            self.shards,
+            op="merge",
+        )
 
     def checkpoint(self) -> int:
         """LOG mode: checkpoint every shard; returns total bytes written."""

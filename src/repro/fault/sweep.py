@@ -53,6 +53,7 @@ from repro.fault.workloads import (
 )
 from repro.nvm.pool import PMemMode
 from repro.query.predicate import Eq
+from repro.txn.errors import TransactionConflict
 
 Engine = Union[Database, ShardedEngine]
 
@@ -108,6 +109,10 @@ class CrashSweep:
                 PMemMode.STRICT if self.mode is DurabilityMode.NVM else PMemMode.FAST
             ),
             group_commit_size=1,  # sync commit: the contract being swept
+            # A cutover starved by a crashed writer thread should give
+            # up quickly — points inside merge_mix steps would otherwise
+            # stall for the default window on every sweep iteration.
+            merge_cutover_timeout_s=1.0,
         )
 
     def _open(self, path: str) -> Engine:
@@ -173,6 +178,8 @@ class CrashSweep:
             txn.commit()
         elif step.kind == "concurrent_mix":
             self._execute_concurrent(engine, step)
+        elif step.kind == "merge_mix":
+            self._execute_concurrent(engine, step, with_merge=True)
         elif step.kind == "merge":
             engine.merge(TABLE)
         elif step.kind == "checkpoint":
@@ -180,7 +187,9 @@ class CrashSweep:
         else:
             raise ValueError(f"unknown step kind {step.kind!r}")
 
-    def _execute_concurrent(self, engine: Engine, step: Step) -> None:
+    def _execute_concurrent(
+        self, engine: Engine, step: Step, with_merge: bool = False
+    ) -> None:
         """Run every (key, note) op of the step on its own thread.
 
         Each op is an independent autocommit transaction, so the crash
@@ -191,6 +200,12 @@ class CrashSweep:
         :class:`SimulatedPowerFailure` on any thread is re-raised here
         after every thread has stopped (the injector's breaker stays
         open, so no thread can persist anything past the cut).
+
+        ``with_merge`` additionally races an *online* merge on its own
+        thread, so crash points land inside fold chunks and the cutover
+        while writers are mid-commit. A cutover that times out (a writer
+        held operations on the table for the whole window) is a benign
+        outcome, not a failure — the merge is simply abandoned.
         """
         failures: list[BaseException] = []
         lock = threading.Lock()
@@ -198,19 +213,38 @@ class CrashSweep:
         def run_op(key: int, note: Optional[str]) -> None:
             try:
                 db = self._owner(engine, key)
-                txn = db.begin()
-                if note is None:
-                    ref = txn.query(TABLE, Eq("key", key)).refs()[0]
-                    txn.delete(TABLE, ref)
-                else:
-                    refs = txn.query(TABLE, Eq("key", key)).refs()
-                    if refs:
-                        txn.update(TABLE, refs[0], {"note": note})
-                    else:
-                        txn.insert(TABLE, {"key": key, "note": note})
-                txn.commit()
+                # A racing online-merge cutover can invalidate the refs a
+                # transaction read (retryable conflict); retry the whole
+                # transaction like a client would.
+                for _ in range(8):
+                    txn = db.begin()
+                    try:
+                        if note is None:
+                            ref = txn.query(TABLE, Eq("key", key)).refs()[0]
+                            txn.delete(TABLE, ref)
+                        else:
+                            refs = txn.query(TABLE, Eq("key", key)).refs()
+                            if refs:
+                                txn.update(TABLE, refs[0], {"note": note})
+                            else:
+                                txn.insert(TABLE, {"key": key, "note": note})
+                        txn.commit()
+                    except TransactionConflict:
+                        if txn.is_active:
+                            txn.abort()
+                        continue
+                    with lock:
+                        self._completed_ops.add(key)
+                    return
+            except SimulatedPowerFailure as exc:
                 with lock:
-                    self._completed_ops.add(key)
+                    failures.append(exc)
+
+        def run_merge() -> None:
+            try:
+                engine.merge(TABLE)
+            except RuntimeError:
+                pass  # cutover starved out: abandoned, old generation live
             except SimulatedPowerFailure as exc:
                 with lock:
                     failures.append(exc)
@@ -221,6 +255,10 @@ class CrashSweep:
             )
             for key, note in step.rows
         ]
+        if with_merge:
+            threads.append(
+                threading.Thread(target=run_merge, name="sweep-merger")
+            )
         for thread in threads:
             thread.start()
         for thread in threads:
@@ -328,9 +366,10 @@ class CrashSweep:
         effects = step.effects()
         if not effects:
             return []
-        if step.kind == "concurrent_mix":
+        if step.kind in ("concurrent_mix", "merge_mix"):
             # Every op is its own autocommit transaction on its own
             # thread: per-key all-or-nothing, independent of the rest.
+            # (The merge racing a merge_mix step has no effects at all.)
             return [{key: note} for key, note in sorted(effects.items())]
         if self.settings.shards > 1 and step.kind in ("insert_many", "bulk"):
             groups: dict[int, dict] = {}
@@ -561,7 +600,10 @@ def main(argv: Optional[list] = None) -> int:
                 if mode == "none" and (
                     shards != shard_counts[0] or survivor != survivors[0]
                 ):
-                    continue  # NONE emits zero events; one cell suffices
+                    # NONE's only boundaries are the online-merge fold/
+                    # cutover events, and a crash there loses everything
+                    # regardless of survivor fraction; one cell suffices.
+                    continue
                 configs.append((mode, shards, survivor))
 
     if args.root is not None:

@@ -26,7 +26,7 @@ from repro.storage.types import DataType
 TABLE = "kv"
 SCHEMA = {"key": DataType.INT64, "note": DataType.STRING}
 
-WORKLOAD_NAMES = ("ycsb", "batch", "maint", "concurrent")
+WORKLOAD_NAMES = ("ycsb", "batch", "maint", "concurrent", "online")
 
 
 @dataclass(frozen=True)
@@ -42,7 +42,7 @@ class Step:
     """
 
     kind: str  # insert | insert_many | bulk | update | delete |
-    #            concurrent_mix | merge | checkpoint
+    #            concurrent_mix | merge_mix | merge | checkpoint
     rows: tuple = ()  # ((key, note), ...)
     key: int = -1
     note: str = ""
@@ -51,9 +51,12 @@ class Step:
         """Post-state this step installs: key -> note (None = deleted).
 
         Empty for maintenance steps — merge and checkpoint must never
-        change logical contents, crash or no crash.
+        change logical contents, crash or no crash. ``merge_mix`` runs
+        an online merge *concurrently* with its ops; only the ops have
+        effects (the merge contributes none, as always).
         """
-        if self.kind in ("insert", "insert_many", "bulk", "concurrent_mix"):
+        if self.kind in ("insert", "insert_many", "bulk", "concurrent_mix",
+                         "merge_mix"):
             return dict(self.rows)
         if self.kind == "update":
             return {self.key: self.note}
@@ -158,6 +161,13 @@ class _Planner:
         self.rng.shuffle(rows)
         return Step("concurrent_mix", rows=tuple(rows))
 
+    def merge_mix(self, inserts: int, updates: int, deletes: int) -> Step:
+        """Like :meth:`concurrent_mix`, plus an online merge racing the
+        ops on its own thread — crash points land inside the fold and
+        the cutover while writers are mid-commit."""
+        mix = self.concurrent_mix(inserts, updates, deletes)
+        return Step("merge_mix", rows=mix.rows)
+
 
 def make_workload(name: str, seed: int = 0) -> SweepWorkload:
     """Build a named preset. Same (name, seed) -> identical plan."""
@@ -219,6 +229,21 @@ def make_workload(name: str, seed: int = 0) -> SweepWorkload:
             planner.concurrent_mix(3, 1, 2),
             Step("checkpoint"),
             planner.concurrent_mix(2, 2, 2),
+        ]
+    elif name == "online":
+        # Online merge under fire: merges run concurrently with writer
+        # threads, so crash points land inside fold chunks and cutovers
+        # while transactions are in flight — the sweep's check that the
+        # incremental merge never tears logical state.
+        initial = planner.fresh_rows(20)
+        steps = [
+            planner.insert_many(6),
+            planner.merge_mix(3, 2, 1),
+            planner.concurrent_mix(2, 2, 1),
+            planner.merge_mix(2, 3, 2),
+            planner.insert(),
+            Step("merge"),
+            planner.merge_mix(3, 1, 1),
         ]
     else:
         raise ValueError(f"unknown workload {name!r} (have {WORKLOAD_NAMES})")

@@ -29,6 +29,12 @@ class DeltaIndex(ABC):
     def add(self, code: int, position: int) -> None:
         """Register that delta row ``position`` holds ``code``."""
 
+    def add_many(self, codes: np.ndarray, first: int) -> None:
+        """Register a contiguous batch: row ``first + i`` holds
+        ``codes[i]``. Default falls back to per-row :meth:`add`."""
+        for offset, code in enumerate(codes):
+            self.add(int(code), first + offset)
+
     @abstractmethod
     def lookup(self, code: int) -> np.ndarray:
         """Delta row positions holding ``code``."""
@@ -51,6 +57,21 @@ class VolatileDeltaIndex(DeltaIndex):
 
     def add(self, code: int, position: int) -> None:
         self._map[code].append(position)
+
+    def add_many(self, codes: np.ndarray, first: int) -> None:
+        # Vectorized group-by-code: one stable argsort, one split. The
+        # stable sort keeps each code's positions ascending, matching
+        # what repeated add() calls would produce.
+        codes = np.asarray(codes)
+        if codes.size == 0:
+            return
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        boundaries = np.nonzero(sorted_codes[1:] != sorted_codes[:-1])[0] + 1
+        groups = np.split(order, boundaries)
+        for group in groups:
+            code = int(codes[group[0]])
+            self._map[code].extend((group + first).tolist())
 
     def lookup(self, code: int) -> np.ndarray:
         return np.asarray(self._map.get(code, ()), dtype=np.uint64)

@@ -31,7 +31,17 @@ from repro.obs import metrics as _metrics
 
 #: The event kinds the engine emits today (new kinds need no
 #: registration — this tuple exists for documentation and for tests).
-KINDS = ("flush", "drain", "wal_fsync", "checkpoint_fsync")
+KINDS = (
+    "flush",
+    "drain",
+    "wal_fsync",
+    "checkpoint_fsync",
+    # Online-merge boundaries: after each fold chunk, and immediately
+    # before the cutover publishes the new generation. Emitted in every
+    # durability mode (the fold runs the same everywhere).
+    "merge_chunk",
+    "merge_cutover",
+)
 
 EVENTS_TOTAL = "persistence_events_total"
 

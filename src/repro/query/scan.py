@@ -20,15 +20,26 @@ from repro.txn.context import TransactionContext
 
 
 class ScanResult:
-    """Positions of visible, matching rows; values decode lazily."""
+    """Positions of visible, matching rows; values decode lazily.
+
+    The result pins the ``(main, delta)`` partition pair it was
+    evaluated against: an online-merge cutover may swap the table's
+    content at any moment, and a result must keep decoding the
+    generation its positions index into. Old generations are immutable
+    once superseded, so late materialisation stays correct.
+    """
 
     def __init__(
         self,
         table: Table,
         main_positions: np.ndarray,
         delta_positions: np.ndarray,
+        content=None,
     ):
         self.table = table
+        self.main_part, self.delta_part = (
+            content if content is not None else table.content
+        )
         self.main_positions = main_positions
         self.delta_positions = delta_positions
 
@@ -54,8 +65,8 @@ class ScanResult:
     def column(self, name: str) -> list:
         """Materialise one column's values for the result rows."""
         col = self.table.schema.column_index(name)
-        main_vals = self.table.main.decode_column(col, self.main_positions)
-        delta_vals = self.table.delta.decode_column(col, self.delta_positions)
+        main_vals = self.main_part.decode_column(col, self.main_positions)
+        delta_vals = self.delta_part.decode_column(col, self.delta_positions)
         return main_vals + delta_vals
 
     def column_array(self, name: str) -> tuple[np.ndarray, np.ndarray]:
@@ -68,10 +79,10 @@ class ScanResult:
         matches :meth:`column`: main block first, then delta.
         """
         col = self.table.schema.column_index(name)
-        main_vals, main_nulls = self.table.main.column_array(
+        main_vals, main_nulls = self.main_part.column_array(
             col, self.main_positions
         )
-        delta_vals, delta_nulls = self.table.delta.column_array(
+        delta_vals, delta_nulls = self.delta_part.column_array(
             col, self.delta_positions
         )
         if main_vals.size == 0:
@@ -94,7 +105,7 @@ class ScanResult:
         instead of one per row.
         """
         col = self.table.schema.column_index(name)
-        main_col = self.table.main.columns[col]
+        main_col = self.main_part.columns[col]
         yield (
             main_col.codes()[self.main_positions],
             main_col.dictionary,
@@ -102,8 +113,8 @@ class ScanResult:
             True,
         )
         yield (
-            self.table.delta.column_codes(col)[self.delta_positions],
-            self.table.delta.dictionaries[col],
+            self.delta_part.column_codes(col)[self.delta_positions],
+            self.delta_part.dictionaries[col],
             NULL_CODE,
             False,
         )
@@ -123,10 +134,10 @@ class ScanResult:
         out = np.empty(indices.size, dtype=object)
         if in_main.any():
             rows = self.main_positions[indices[in_main]]
-            out[in_main] = self.table.main.decode_column(col, rows)
+            out[in_main] = self.main_part.decode_column(col, rows)
         if not in_main.all():
             rows = self.delta_positions[indices[~in_main] - split]
-            out[~in_main] = self.table.delta.decode_column(col, rows)
+            out[~in_main] = self.delta_part.decode_column(col, rows)
         return out.tolist()
 
     def columns(self, names: Optional[Sequence[str]] = None) -> dict:
@@ -145,12 +156,18 @@ class ScanResult:
 
 def _visibility_masks(
     table: Table,
+    content,
     snapshot_cid: int,
     ctx: Optional[TransactionContext],
 ) -> tuple[np.ndarray, np.ndarray]:
-    main_mask = table.main.mvcc.visible_mask(snapshot_cid)
-    delta_mask = table.delta.mvcc.visible_mask(snapshot_cid)
+    main, delta = content
+    main_mask = main.mvcc.visible_mask(snapshot_cid)
+    delta_mask = delta.mvcc.visible_mask(snapshot_cid)
     if ctx is not None:
+        # Own-write refs always address the current generation: a
+        # cutover waits out any transaction holding operations on the
+        # table, and a transaction without operations has nothing to
+        # overlay.
         ctx.adjust_masks(table, main_mask, delta_mask)
     return main_mask, delta_mask
 
@@ -168,25 +185,45 @@ def scan(
     bare ``snapshot_cid``. When ``index`` covers the predicate column
     and the predicate is ``Eq``/``IsNull``, the index supplies candidate
     positions instead of a full scan.
+
+    The ``(main, delta)`` pair is captured once: an online merge may
+    cut over mid-scan, and evaluating visibility, predicate, and
+    materialisation against one pinned generation is always correct —
+    MVCC state is monotone across the swap (the new generation carries
+    every surviving row's begin/end), so either generation answers any
+    snapshot consistently.
     """
     if ctx is not None:
         snapshot_cid = ctx.snapshot_cid
     if snapshot_cid is None:
         raise ValueError("scan needs a snapshot_cid or a transaction context")
+    content = table.content
 
     if index is not None and _index_applicable(index, predicate):
-        return _index_scan(table, snapshot_cid, predicate, ctx, index)
+        return _index_scan(table, content, snapshot_cid, predicate, ctx, index)
 
-    main_mask, delta_mask = _visibility_masks(table, snapshot_cid, ctx)
+    return _masked_scan(table, content, snapshot_cid, predicate, ctx)
+
+
+def _masked_scan(
+    table: Table,
+    content,
+    snapshot_cid: int,
+    predicate: Optional[Predicate],
+    ctx: Optional[TransactionContext],
+) -> ScanResult:
+    main, delta = content
+    main_mask, delta_mask = _visibility_masks(table, content, snapshot_cid, ctx)
     if predicate is not None:
-        main_mask &= predicate.eval_main(table.main, table.schema)
+        main_mask &= predicate.eval_main(main, table.schema)
         delta_mask = _clamped_and(
-            delta_mask, predicate.eval_delta(table.delta, table.schema)
+            delta_mask, predicate.eval_delta(delta, table.schema)
         )
     return ScanResult(
         table,
         np.nonzero(main_mask)[0],
         np.nonzero(delta_mask)[0],
+        content=content,
     )
 
 
@@ -229,31 +266,44 @@ def _range_bounds(predicate) -> tuple:
 
 def _index_scan(
     table: Table,
+    content,
     snapshot_cid: int,
     predicate: Predicate,
     ctx: Optional[TransactionContext],
     index,
 ) -> ScanResult:
+    main, delta = content
+    if not index.covers(main, delta):
+        # The index belongs to a different generation than the captured
+        # content (we raced a merge cutover). Probing it would return
+        # positions into the wrong partitions — fall back to a full
+        # masked scan of the captured pair, which is always correct.
+        return _masked_scan(table, content, snapshot_cid, predicate, ctx)
     if isinstance(predicate, Eq):
-        candidates = index.probe_equal(table, predicate.value)
+        candidates = index.probe_equal(table, predicate.value, content=content)
     elif isinstance(predicate, _RANGE_PREDICATES):
         low, high, include_low, include_high = _range_bounds(predicate)
         candidates = index.probe_range(
-            table, low, high, include_low=include_low, include_high=include_high
+            table,
+            low,
+            high,
+            include_low=include_low,
+            include_high=include_high,
+            content=content,
         )
     else:
-        candidates = index.probe_null(table)
+        candidates = index.probe_null(table, content=content)
     main_positions = []
     delta_positions = []
     for ref in candidates:
+        is_delta, idx = unpack_rowref(ref)
         if ctx is not None:
-            visible = ctx.row_visible(table, ref)
+            visible = _row_visible_in(ctx, table, content, ref)
         else:
-            mvcc, idx = table.mvcc_for(ref)
+            mvcc = (delta if is_delta else main).mvcc
             visible = mvcc.get_begin(idx) <= snapshot_cid < mvcc.get_end(idx)
         if not visible:
             continue
-        is_delta, idx = unpack_rowref(ref)
         (delta_positions if is_delta else main_positions).append(idx)
     # Own inserts matching the predicate may be missing from the index
     # candidates only if the index was not maintained — the engine
@@ -262,4 +312,21 @@ def _index_scan(
         table,
         np.asarray(sorted(main_positions), dtype=np.int64),
         np.asarray(sorted(delta_positions), dtype=np.int64),
+        content=content,
     )
+
+
+def _row_visible_in(
+    ctx: TransactionContext, table: Table, content, ref: int
+) -> bool:
+    """:meth:`TransactionContext.row_visible` against a pinned pair."""
+    if ctx.sees_own_invalidation(table.table_id, ref):
+        return False
+    if ctx.sees_own_insert(table.table_id, ref):
+        return True
+    is_delta, index = unpack_rowref(ref)
+    part = content[1] if is_delta else content[0]
+    if index >= part.row_count:
+        return False
+    mvcc = part.mvcc
+    return mvcc.get_begin(index) <= ctx.snapshot_cid < mvcc.get_end(index)

@@ -36,6 +36,7 @@ from repro.wal.records import (
     InsertManyRecord,
     InsertRecord,
     InvalidateRecord,
+    MergeRecord,
 )
 
 
@@ -114,6 +115,26 @@ def recover_log(
             elif isinstance(record, AbortRecord):
                 ops = in_flight.pop(record.tid, [])
                 rollback_operations(tables.__getitem__, ops)
+            elif isinstance(record, MergeRecord):
+                # Repeat the online-merge cutover. Every transaction
+                # with operations on this table commits or aborts in the
+                # log *before* this record (the cutover excluded them),
+                # so replay state here matches what the fold saw and the
+                # transform is deterministic — later records' rowrefs
+                # stay valid against the rebuilt layout.
+                import numpy as np
+
+                from repro.storage.merge import replay_merge
+
+                table = tables[record.table_id]
+                replay_merge(
+                    table,
+                    backend,
+                    record.watermark,
+                    np.asarray(record.main_mask, dtype=bool),
+                    np.asarray(record.delta_mask, dtype=bool),
+                )
+                report.merges_replayed += 1
             elif isinstance(record, DropTableRecord):
                 tables.pop(record.table_id, None)
         # Transactions with no commit/abort record lost the race with the

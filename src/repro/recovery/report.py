@@ -33,6 +33,7 @@ class RecoveryReport:
     txns_rolled_back: int = 0
     txns_rolled_forward: int = 0
     log_records_replayed: int = 0
+    merges_replayed: int = 0
     checkpoint_bytes: int = 0
 
     def __post_init__(self) -> None:
@@ -67,6 +68,7 @@ class RecoveryReport:
             "txns_rolled_back": self.txns_rolled_back,
             "txns_rolled_forward": self.txns_rolled_forward,
             "log_records_replayed": self.log_records_replayed,
+            "merges_replayed": self.merges_replayed,
             "checkpoint_bytes": self.checkpoint_bytes,
         }
 

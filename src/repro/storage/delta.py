@@ -182,6 +182,41 @@ class DeltaPartition:
         self.mvcc.begin.extend(np.full(n, INFINITY_CID, dtype=np.uint64))
         return first
 
+    def load_encoded(
+        self,
+        encoded_columns: list[np.ndarray],
+        begin_cids: np.ndarray,
+        end_cids: np.ndarray,
+    ) -> int:
+        """Append pre-encoded rows carrying explicit MVCC vectors.
+
+        The merge-cutover tail path: rows written past the freeze
+        watermark are re-encoded against this fresh delta with their
+        begin/end state copied verbatim (tids must already be released —
+        cutover requires that no transaction holds operations on the
+        table). The caller serialises; the begin extend publishes last,
+        as everywhere else. Returns the first new row index.
+        """
+        counts = {len(col) for col in encoded_columns}
+        if len(counts) != 1:
+            raise ValueError("ragged load")
+        (n,) = counts
+        if n != len(begin_cids) or n != len(end_cids):
+            raise ValueError("MVCC vectors disagree with row count")
+        first = self.row_count
+        for vector, codes in zip(self.code_vectors, encoded_columns):
+            _extend_or_overwrite(
+                vector, first, np.asarray(codes, dtype=_CODE_DTYPE)
+            )
+        _extend_or_overwrite(
+            self.mvcc.end, first, np.asarray(end_cids, dtype=np.uint64)
+        )
+        _extend_or_overwrite(
+            self.mvcc.tid, first, np.full(n, NO_TID, dtype=np.uint64)
+        )
+        self.mvcc.begin.extend(np.asarray(begin_cids, dtype=np.uint64))
+        return first
+
     def bulk_load(
         self,
         encoded_columns: list[np.ndarray],

@@ -167,6 +167,20 @@ class MvccColumns:
     def tid_array(self) -> np.ndarray:
         return self.tid.to_numpy()[: self.row_count]
 
+    def state_snapshot(
+        self, rows: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Owned copies of (begin, end, tid) clamped to ``rows``.
+
+        The merge freeze captures these under the commit lock; copies
+        (not views) so later in-place commit fix-ups cannot mutate the
+        frozen plan out from under the fold.
+        """
+        begin = np.array(self.begin.to_numpy()[:rows], dtype=np.uint64)
+        end = np.array(self.end.to_numpy()[:rows], dtype=np.uint64)
+        tid = np.array(self.tid.to_numpy()[:rows], dtype=np.uint64)
+        return begin, end, tid
+
     def _visibility_arrays(self) -> tuple:
         """DRAM copies of begin/end plus the all-visible watermark.
 

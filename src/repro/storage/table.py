@@ -10,6 +10,9 @@ position lists::
 
 from __future__ import annotations
 
+import threading
+import time
+from contextlib import contextmanager
 from typing import Sequence
 
 from repro.storage.backend import Backend
@@ -35,6 +38,77 @@ def unpack_rowref(ref: int) -> tuple[bool, int]:
     return bool(ref & _DELTA_BIT), ref & _INDEX_MASK
 
 
+class OpsGate:
+    """Shared/exclusive gate serialising row operations against cutover.
+
+    Writers hold the gate *shared* around {row placement, WAL record,
+    undo bookkeeping} so a merge cutover — which holds it *exclusive* —
+    never observes a row that is published but missing from its
+    transaction's undo records. Shared sections are tiny (dictionary
+    encoding happens outside), so exclusive acquisition is prompt; a
+    pending exclusive request blocks *new* shared entries, which keeps
+    cutover from starving under a steady writer stream.
+
+    Lock order: the gate is always taken before the transaction
+    manager's commit lock, never inside it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._shared = 0
+        self._exclusive = False
+        self._exclusive_waiting = 0
+
+    @contextmanager
+    def shared(self):
+        with self._cond:
+            while self._exclusive or self._exclusive_waiting:
+                self._cond.wait()
+            self._shared += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._shared -= 1
+                if self._shared == 0:
+                    self._cond.notify_all()
+
+    def acquire_exclusive(self, timeout: float | None = None) -> bool:
+        """Take the gate exclusively; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._exclusive_waiting += 1
+            try:
+                while self._exclusive or self._shared:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            return False
+                    self._cond.wait(remaining)
+                self._exclusive = True
+                return True
+            finally:
+                self._exclusive_waiting -= 1
+                if not self._exclusive:
+                    # Timed out: unblock shared waiters we were holding off.
+                    self._cond.notify_all()
+
+    def release_exclusive(self) -> None:
+        with self._cond:
+            self._exclusive = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self, timeout: float | None = None):
+        if not self.acquire_exclusive(timeout):
+            raise TimeoutError("ops gate exclusive acquisition timed out")
+        try:
+            yield
+        finally:
+            self.release_exclusive()
+
+
 class Table:
     """One logical table of the engine."""
 
@@ -52,9 +126,42 @@ class Table:
         self.name = name
         self.schema = schema
         self.backend = backend
-        self.main = main
-        self.delta = delta
+        # The (main, delta) pair is one atomic tuple: readers snapshot it
+        # with a single attribute load, and an online-merge cutover
+        # replaces it with a single store — a scan can never see the new
+        # main paired with the old delta or vice versa.
+        self._content: tuple[MainPartition, DeltaPartition] = (main, delta)
         self.generation = generation
+        # Serialises row operations (placement + undo bookkeeping)
+        # against merge cutover. See :class:`OpsGate`.
+        self.ops_gate = OpsGate()
+
+    @property
+    def main(self) -> MainPartition:
+        return self._content[0]
+
+    @main.setter
+    def main(self, value: MainPartition) -> None:
+        self._content = (value, self._content[1])
+
+    @property
+    def delta(self) -> DeltaPartition:
+        return self._content[1]
+
+    @delta.setter
+    def delta(self, value: DeltaPartition) -> None:
+        self._content = (self._content[0], value)
+
+    @property
+    def content(self) -> tuple[MainPartition, DeltaPartition]:
+        """The current (main, delta) pair as one consistent snapshot."""
+        return self._content
+
+    def publish_content(
+        self, main: MainPartition, delta: DeltaPartition
+    ) -> None:
+        """Atomically swap in a new generation's (main, delta) pair."""
+        self._content = (main, delta)
 
     @classmethod
     def create(

@@ -37,6 +37,12 @@ class TransactionContext:
         # so a million-row batch costs two ints, not a million entries.
         self.own_insert_ranges: dict[int, list[list[int]]] = {}
         self.own_invalidated: dict[int, set[int]] = {}
+        # Table generation observed at first touch (query or write).
+        # A rowref is only meaningful within the generation it was read
+        # from; ref-consuming operations compare against the live
+        # generation and raise a retryable conflict after a merge
+        # cutover swapped the partitions underneath.
+        self.table_generations: dict[int, int] = {}
         self.cid: int | None = None
         # Cross-thread misuse detection: contexts are single-threaded,
         # but nothing used to stop two threads from interleaving ops on
@@ -77,6 +83,17 @@ class TransactionContext:
     @property
     def is_read_only(self) -> bool:
         return not self.ops
+
+    def note_table_generation(self, table: Table) -> None:
+        """Pin the generation refs handed to this transaction came from."""
+        self.table_generations.setdefault(table.table_id, table.generation)
+
+    def generation_changed(self, table: Table) -> bool:
+        """True when the table merged since this transaction first saw it."""
+        pinned = self.table_generations.setdefault(
+            table.table_id, table.generation
+        )
+        return pinned != table.generation
 
     def note_insert(self, table_id: int, ref: int) -> None:
         self.own_inserted.setdefault(table_id, set()).add(ref)

@@ -199,22 +199,38 @@ class TransactionManager:
             # Dictionary encoding happens outside the append reservation
             # (each dictionary takes its own insert lock): codes are
             # position-independent, only row placement needs the latch.
-            encoded = table.delta.encode_columns(columns)
-            with table.delta.write_lock:
-                first = table.delta.row_count
-                range_ref = pack_range_ref(first, n)
-                self._txn_table.record(
-                    ctx.slot, OP_INSERT_MANY, table.table_id, range_ref
-                )
-                table.delta.insert_rows_encoded(encoded, ctx.tid)
-                if self._wal is not None:
-                    # Inside the latch: replay reproduces placement from
-                    # file order, so file order must equal append order.
-                    self._wal.log_insert_many(
-                        ctx.tid, table.table_id, columns
+            # It also happens outside the ops gate, to keep the shared
+            # section tiny — but codes are only valid against the delta
+            # whose dictionaries assigned them, so if a merge cutover
+            # swapped the delta in between, re-encode against the new
+            # one (checked under the gate, where the delta is stable).
+            delta = table.delta
+            encoded = delta.encode_columns(columns)
+            with table.ops_gate.shared():
+                if table.delta is not delta:
+                    delta = table.delta
+                    encoded = delta.encode_columns(columns)
+                with delta.write_lock:
+                    first = delta.row_count
+                    range_ref = pack_range_ref(first, n)
+                    self._txn_table.record(
+                        ctx.slot, OP_INSERT_MANY, table.table_id, range_ref
                     )
-            ctx.ops.append((OP_INSERT_MANY, table.table_id, range_ref))
-            ctx.note_insert_range(table.table_id, first, n)
+                    delta.insert_rows_encoded(encoded, ctx.tid)
+                    if self._wal is not None:
+                        # Inside the latch: replay reproduces placement
+                        # from file order, so file order must equal
+                        # append order.
+                        self._wal.log_insert_many(
+                            ctx.tid, table.table_id, columns
+                        )
+                # Undo bookkeeping inside the gate: once it is recorded,
+                # a cutover sees this transaction as having operations
+                # on the table and waits for commit/abort, keeping the
+                # refs below valid for the transaction's lifetime.
+                ctx.ops.append((OP_INSERT_MANY, table.table_id, range_ref))
+                ctx.note_insert_range(table.table_id, first, n)
+                ctx.note_table_generation(table)
             return [pack_rowref(True, first + i) for i in range(n)]
         finally:
             ctx.exit_op()
@@ -232,40 +248,66 @@ class TransactionManager:
         ctx.enter_op()
         try:
             self._require_active(ctx)
-            if not ctx.row_visible(table, ref):
-                self._count_conflict()
-                raise TransactionConflict(
-                    f"row {ref} not visible to txn {ctx.tid}"
-                )
-            mvcc, index = table.mvcc_for(ref)
-            # Compare-and-swap on the tid row lock: the conflict checks,
-            # the undo record, and the lock store form one atomic
-            # section under the partition's tid latch — two racing
-            # invalidators must never both end up holding undo records
-            # for the same row (rollback releases the lock
-            # unconditionally). Within the section: record first
-            # (write-ahead), then take the lock, so a crash in between
-            # rolls back to a no-op (tid is still NO_TID).
-            with mvcc.lock:
-                owner = mvcc.get_tid(index)
-                if owner not in (NO_TID, ctx.tid):
+            with table.ops_gate.shared():
+                self._check_generation(ctx, table, ref)
+                if not ctx.row_visible(table, ref):
                     self._count_conflict()
                     raise TransactionConflict(
-                        f"row {ref} locked by txn {owner} (we are {ctx.tid})"
+                        f"row {ref} not visible to txn {ctx.tid}"
                     )
-                if mvcc.get_end(index) != INFINITY_CID:
-                    self._count_conflict()
-                    raise TransactionConflict(f"row {ref} already invalidated")
-                self._txn_table.record(
-                    ctx.slot, OP_INVALIDATE, table.table_id, ref
-                )
-                mvcc.set_tid(index, ctx.tid)
-            if self._wal is not None:
-                self._wal.log_invalidate(ctx.tid, table.table_id, ref)
-            ctx.ops.append((OP_INVALIDATE, table.table_id, ref))
-            ctx.note_invalidate(table.table_id, ref)
+                mvcc, index = table.mvcc_for(ref)
+                # Compare-and-swap on the tid row lock: the conflict
+                # checks, the undo record, and the lock store form one
+                # atomic section under the partition's tid latch — two
+                # racing invalidators must never both end up holding
+                # undo records for the same row (rollback releases the
+                # lock unconditionally). Within the section: record
+                # first (write-ahead), then take the lock, so a crash in
+                # between rolls back to a no-op (tid is still NO_TID).
+                with mvcc.lock:
+                    owner = mvcc.get_tid(index)
+                    if owner not in (NO_TID, ctx.tid):
+                        self._count_conflict()
+                        raise TransactionConflict(
+                            f"row {ref} locked by txn {owner} "
+                            f"(we are {ctx.tid})"
+                        )
+                    if mvcc.get_end(index) != INFINITY_CID:
+                        self._count_conflict()
+                        raise TransactionConflict(
+                            f"row {ref} already invalidated"
+                        )
+                    self._txn_table.record(
+                        ctx.slot, OP_INVALIDATE, table.table_id, ref
+                    )
+                    mvcc.set_tid(index, ctx.tid)
+                if self._wal is not None:
+                    self._wal.log_invalidate(ctx.tid, table.table_id, ref)
+                # Inside the gate (like insert_many): once recorded, a
+                # cutover waits for this transaction, keeping ``ref``
+                # stable until commit/abort.
+                ctx.ops.append((OP_INVALIDATE, table.table_id, ref))
+                ctx.note_invalidate(table.table_id, ref)
         finally:
             ctx.exit_op()
+
+    def _check_generation(
+        self, ctx: TransactionContext, table: Table, ref: int
+    ) -> None:
+        """Reject refs that predate an online-merge cutover.
+
+        A cutover only runs when no active transaction holds operations
+        on the table, so a transaction that merely *read* refs can lose
+        them to a merge; consuming such a ref afterwards would address
+        the wrong row. Conservative and retryable: the transaction pins
+        the generation at first touch and conflicts on any change.
+        """
+        if ctx.generation_changed(table):
+            self._count_conflict()
+            raise TransactionConflict(
+                f"table {table.name} merged since txn {ctx.tid} first "
+                f"read it; rowref {ref} is stale — retry the transaction"
+            )
 
     def _count_conflict(self) -> None:
         with self._lock:
@@ -284,7 +326,21 @@ class TransactionManager:
             unknown = set(changes) - set(table.schema.names)
             if unknown:
                 raise KeyError(f"unknown columns {sorted(unknown)}")
-            old_values = table.get_row(ref)
+            # Pin the generation before reading the old values: if a
+            # cutover lands between this read and the invalidate, the
+            # invalidate's generation check conflicts instead of
+            # silently invalidating whatever row now sits at ``ref``.
+            ctx.note_table_generation(table)
+            try:
+                old_values = table.get_row(ref)
+            except IndexError:
+                # The ref predates a merge cutover that shrank the
+                # delta; surface it as a retryable conflict (invalidate
+                # below would reject it anyway via the generation pin).
+                self._count_conflict()
+                raise TransactionConflict(
+                    f"row {ref} vanished in a merge; retry txn {ctx.tid}"
+                ) from None
             self.invalidate(ctx, table, ref)
             new_values = list(old_values)
             for name, value in changes.items():

@@ -28,6 +28,7 @@ TYPE_ABORT = 4
 TYPE_CREATE_TABLE = 5
 TYPE_DROP_TABLE = 6
 TYPE_INSERT_MANY = 7
+TYPE_MERGE = 8
 
 _KIND_NULL = 0
 _KIND_INT = 1
@@ -87,6 +88,25 @@ class DropTableRecord:
     table_id: int
 
 
+@dataclass(frozen=True)
+class MergeRecord:
+    """One online-merge cutover: enough to repeat the fold at replay.
+
+    ``main_mask``/``delta_mask`` are the survivor masks the fold ran
+    from (bit-packed on the wire); ``watermark`` is the frozen delta row
+    count — rows past it were re-encoded into the fresh delta. Replay
+    reaches this record with exactly the MVCC state the cutover saw
+    (every transaction with operations on the table commits or aborts
+    in the log before it), so re-running the fold from the masks
+    reproduces row placement deterministically.
+    """
+
+    table_id: int
+    watermark: int
+    main_mask: tuple  # tuple[bool, ...]
+    delta_mask: tuple  # tuple[bool, ...]
+
+
 LogRecord = Union[
     InsertRecord,
     InsertManyRecord,
@@ -95,6 +115,7 @@ LogRecord = Union[
     AbortRecord,
     CreateTableRecord,
     DropTableRecord,
+    MergeRecord,
 ]
 
 
@@ -248,6 +269,21 @@ def _payload(record: LogRecord) -> bytes:
         )
     if isinstance(record, DropTableRecord):
         return struct.pack("<BQ", TYPE_DROP_TABLE, record.table_id)
+    if isinstance(record, MergeRecord):
+        main = np.asarray(record.main_mask, dtype=bool)
+        delta = np.asarray(record.delta_mask, dtype=bool)
+        return (
+            struct.pack(
+                "<BQQQQ",
+                TYPE_MERGE,
+                record.table_id,
+                record.watermark,
+                main.size,
+                delta.size,
+            )
+            + np.packbits(main).tobytes()
+            + np.packbits(delta).tobytes()
+        )
     raise TypeError(f"unknown record {record!r}")
 
 
@@ -292,6 +328,27 @@ def decode_payload(payload: bytes) -> LogRecord:
     if rtype == TYPE_DROP_TABLE:
         (table_id,) = struct.unpack_from("<Q", payload, 1)
         return DropTableRecord(table_id)
+    if rtype == TYPE_MERGE:
+        table_id, watermark, n_main, n_delta = struct.unpack_from(
+            "<QQQQ", payload, 1
+        )
+        pos = 33
+        main_bytes = (n_main + 7) // 8
+        delta_bytes = (n_delta + 7) // 8
+
+        def unpack_mask(offset: int, count: int, nbytes: int) -> tuple:
+            bits = np.unpackbits(
+                np.frombuffer(payload, np.uint8, count=nbytes, offset=offset),
+                count=count,
+            )
+            return tuple(bits.astype(bool).tolist())
+
+        return MergeRecord(
+            table_id,
+            watermark,
+            unpack_mask(pos, n_main, main_bytes),
+            unpack_mask(pos + main_bytes, n_delta, delta_bytes),
+        )
     raise ValueError(f"bad record type {rtype}")
 
 

@@ -34,6 +34,8 @@ import time
 from collections import deque
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.nvm.latency import persistence_event
 from repro.obs import generation, get_registry
 from repro.storage.types import Value
@@ -46,6 +48,7 @@ from repro.wal.records import (
     InsertRecord,
     InvalidateRecord,
     LogRecord,
+    MergeRecord,
     encode_record,
 )
 
@@ -261,6 +264,19 @@ class LogWriter:
 
     def log_abort(self, tid: int) -> None:
         self._write(AbortRecord(tid))
+
+    def log_merge(self, table_id: int, watermark: int, main_mask, delta_mask) -> None:
+        """Append a merge-cutover record (no fsync: losing it just means
+        replay recovers the pre-merge layout, which is equally
+        consistent — the fold is a pure transform of logged state)."""
+        self._write(
+            MergeRecord(
+                table_id,
+                watermark,
+                tuple(np.asarray(main_mask, dtype=bool).tolist()),
+                tuple(np.asarray(delta_mask, dtype=bool).tolist()),
+            )
+        )
 
     def log_create_table(self, table_id: int, name: str, schema_blob: bytes) -> None:
         self._write(CreateTableRecord(table_id, name, schema_blob))

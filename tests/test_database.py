@@ -150,13 +150,22 @@ class TestMerge:
         assert table.delta_row_count == 0
         assert any_db.query("items").count == 30
 
-    def test_merge_with_active_txn_rejected(self, any_db):
+    def test_merge_with_op_holding_txn_times_out(self, any_db):
         any_db.create_table("items", ITEMS)
+        # A transaction holding operations on the table blocks the
+        # cutover for the whole window; the merge is abandoned with the
+        # old generation intact.
+        any_db.config.merge_cutover_timeout_s = 0.2
         txn = any_db.begin()
         txn.insert("items", {"id": 1, "name": "x", "price": 0.0})
         with pytest.raises(RuntimeError):
             any_db.merge("items")
-        txn.abort()
+        assert any_db.table("items").generation == 0
+        txn.commit()
+        # With the holder gone the same merge goes through.
+        any_db.merge("items")
+        assert any_db.table("items").generation == 1
+        assert any_db.query("items").count == 1
 
     def test_merge_compacts_deleted(self, any_db):
         any_db.create_table("items", ITEMS)

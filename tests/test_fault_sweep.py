@@ -198,14 +198,13 @@ def test_sweep_reports_zero_violations(tmp_path, mode, shards, survivor):
     report = CrashSweep(str(tmp_path), settings).run()
     assert report["violations"] == []
     assert report["points_not_fired"] == 0
-    if mode == "none":
-        # NONE never persists: no boundaries, nothing to sweep.
-        assert report["points_total"] == 0
-    else:
-        assert report["points_total"] > 0
-        assert report["points_swept"] >= min(8, report["points_total"])
-        assert report["crash_kinds_swept"]
-        assert report["recovery"]["runs"] == report["points_swept"] + 1
+    # Every mode has sweepable boundaries now: NONE still emits the
+    # online-merge fold/cutover events (a crash there loses the lot,
+    # which the oracle accepts as the NONE contract).
+    assert report["points_total"] > 0
+    assert report["points_swept"] >= min(8, report["points_total"])
+    assert report["crash_kinds_swept"]
+    assert report["recovery"]["runs"] == report["points_swept"] + 1
 
 
 @pytest.mark.parametrize(
@@ -228,6 +227,33 @@ def test_sweep_concurrent_workload(tmp_path, mode, shards):
         shards=shards,
         sample=8,
         seed=11,
+    )
+    report = CrashSweep(str(tmp_path), settings).run()
+    assert report["violations"] == []
+    assert report["points_total"] > 0
+    assert report["crash_kinds_swept"]
+
+
+@pytest.mark.parametrize(
+    "mode,shards",
+    [("nvm", 1), ("log", 1)],
+    ids=["nvm", "log"],
+)
+def test_sweep_online_merge_workload(tmp_path, mode, shards):
+    """Crash points land inside fold chunks and cutovers while writer
+    threads race an online merge (``merge_mix`` steps).
+
+    Like the ``concurrent`` workload, event counts are nondeterministic
+    (how many fold chunks run before the crash depends on scheduling),
+    so ``points_not_fired`` may be nonzero; every fired point must still
+    recover to a committed-plus-atomic-pending state.
+    """
+    settings = SweepSettings(
+        workload="online",
+        mode=mode,
+        shards=shards,
+        sample=8,
+        seed=5,
     )
     report = CrashSweep(str(tmp_path), settings).run()
     assert report["violations"] == []

@@ -125,6 +125,7 @@ class TestAutoMergeUnderCrash:
         db = Database(str(tmp_path / "db"), cfg)
         db.create_table("t", {"a": DataType.INT64})
         db.bulk_insert("t", [{"a": i} for i in range(15)])  # triggers merge
+        assert db._maintenance.wait_idle(timeout=10.0)
         assert db.table("t").generation == 1
         db.crash()
         db = Database(str(tmp_path / "db"), cfg)

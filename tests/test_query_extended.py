@@ -1,5 +1,7 @@
 """Tests for ordering, joins, index range scans, auto-merge, drop table."""
 
+import time
+
 import pytest
 
 from repro.core.config import DurabilityMode
@@ -157,6 +159,7 @@ class TestAutoMerge:
         )
         db.create_table("t", {"a": DataType.INT64})
         db.bulk_insert("t", [{"a": i} for i in range(25)])
+        assert db._maintenance.wait_idle(timeout=10.0)
         table = db.table("t")
         assert table.main_row_count == 25
         assert table.delta_row_count == 0
@@ -171,8 +174,13 @@ class TestAutoMerge:
         db.create_table("t", {"a": DataType.INT64})
         for i in range(12):
             db.insert("t", {"a": i})
+        assert db._maintenance.wait_idle(timeout=10.0)
         table = db.table("t")
-        assert table.generation >= 2
+        # The daemon may coalesce several threshold crossings into one
+        # merge; what is guaranteed is that the delta ends up below the
+        # threshold and nothing was lost.
+        assert table.generation >= 1
+        assert table.delta_row_count < 5
         assert db.query("t").count == 12
         db.close()
 
@@ -181,10 +189,15 @@ class TestAutoMerge:
         none_db.bulk_insert("t", [{"a": i} for i in range(100)])
         assert none_db.table("t").generation == 0
 
-    def test_skipped_with_concurrent_txn(self, tmp_path):
+    def test_deferred_while_txn_holds_ops(self, tmp_path):
         db = Database(
             str(tmp_path / "db"),
-            make_config(DurabilityMode.NONE, auto_merge_rows=2),
+            make_config(
+                DurabilityMode.NONE,
+                auto_merge_rows=2,
+                merge_cutover_timeout_s=0.1,
+                maintenance_interval_s=0.02,
+            ),
         )
         db.create_table("t", {"a": DataType.INT64})
         holder = db.begin()
@@ -192,9 +205,17 @@ class TestAutoMerge:
         writer = db.begin()
         for i in range(5):
             writer.insert("t", {"a": i})
-        writer.commit()  # holder still active -> merge must be skipped
+        writer.commit()
+        # The holder's operations block the cutover: give the daemon a
+        # few attempt windows and check the merge kept being abandoned.
+        time.sleep(0.4)
         assert db.table("t").generation == 0
         holder.commit()
+        deadline = time.monotonic() + 10.0
+        while db.table("t").generation == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert db.table("t").generation >= 1
+        assert db.query("t").count == 6
         db.close()
 
 
