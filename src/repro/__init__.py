@@ -55,11 +55,13 @@ from repro.query import (
     semi_join,
     top_k,
 )
+from repro.replication import AckMode, Follower, WalShipper
 from repro.txn import TransactionConflict, TransactionError
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AckMode",
     "And",
     "Between",
     "ColumnDef",
@@ -69,6 +71,7 @@ __all__ = [
     "DurabilityMode",
     "EngineConfig",
     "Eq",
+    "Follower",
     "Ge",
     "Gt",
     "In",
@@ -87,6 +90,7 @@ __all__ = [
     "Transaction",
     "TransactionConflict",
     "TransactionError",
+    "WalShipper",
     "aggregate",
     "anti_join",
     "get_registry",

@@ -1,0 +1,145 @@
+"""E14 measurement core: replication lag, throughput tax, failover time.
+
+One writer loops autocommit inserts against a primary with a
+:class:`~repro.replication.WalShipper` streaming its log to one (or, for
+quorum, two) followers. Per ack mode the run measures three things:
+
+* **write throughput** and per-commit latency — semi-sync/quorum pay an
+  apply-ack round-trip on every commit, async pays nothing;
+* **steady-state replication lag** — ``shipper.status()`` sampled during
+  the run (bytes the slowest follower trails the primary's log end);
+* **failover time** — after the writer finishes the primary crashes and
+  the follower is promoted via the instant-restart fix-up; the figure is
+  the wall-clock of :meth:`~repro.replication.Follower.promote`.
+
+The run syncs followers before the crash so the promoted replica must
+hold *every* row — the consistency check — while the lag samples were
+taken mid-run and still reflect each ack mode's steady state.
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.replication import AckMode, Follower, WalShipper
+from repro.storage.types import DataType
+
+SCHEMA = {"id": DataType.INT64, "payload": DataType.STRING}
+
+#: Sample the shipper's lag gauge every this many inserts.
+_LAG_EVERY = 16
+
+
+def _p99(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+
+
+def _primary_config(mode: DurabilityMode) -> EngineConfig:
+    if mode is DurabilityMode.LOG:
+        # Synchronous group commit: every ack is locally durable, so the
+        # async frontier (ship only what the primary fsynced) advances
+        # with each commit and the lag samples are meaningful.
+        return EngineConfig(mode=mode, group_commit_size=1)
+    return EngineConfig(mode=mode)
+
+
+def measure_replication(
+    mode: DurabilityMode,
+    ack_mode: AckMode,
+    ops: int,
+    *,
+    payload_bytes: int = 64,
+    followers: int = 1,
+) -> dict:
+    """One primary, ``followers`` replicas, ``ops`` autocommit inserts.
+
+    Returns throughput/latency of the writer, the mid-run lag samples,
+    and the promote wall-clock after a primary crash. Asserts the
+    promoted replica holds every row (followers were synced first).
+    """
+    root = tempfile.mkdtemp(prefix="e14-")
+    try:
+        db = Database(f"{root}/primary", _primary_config(mode))
+        db.create_table("kv", SCHEMA)
+        shipper = WalShipper(db, ack_mode=ack_mode, ack_timeout_s=30.0)
+        replicas = [
+            shipper.add_follower(Follower(f"{root}/replica{i}", name=f"r{i}"))
+            for i in range(followers)
+        ]
+        shipper.start()
+
+        payload = "x" * payload_bytes
+        latencies: list[float] = []
+        lag_samples: list[int] = []
+        t_run = time.perf_counter()
+        for i in range(ops):
+            t0 = time.perf_counter()
+            db.insert("kv", {"id": i, "payload": payload})
+            latencies.append(time.perf_counter() - t0)
+            if i % _LAG_EVERY == 0:
+                status = shipper.status()
+                lag_samples.append(
+                    max(
+                        f["lag_bytes"]
+                        for f in status["followers"].values()
+                    )
+                )
+        elapsed = time.perf_counter() - t_run
+
+        if not shipper.sync_followers(timeout_s=30.0):
+            raise RuntimeError("followers failed to catch up")
+        shipper.stop()
+        db.crash(seed=3)
+
+        t0 = time.perf_counter()
+        promoted = replicas[0].promote()
+        failover_s = time.perf_counter() - t0
+        recovered = promoted.query("kv").count
+        promoted.close()
+        for replica in replicas:
+            replica.close()
+        if recovered != ops:
+            raise RuntimeError(
+                f"promoted replica holds {recovered}/{ops} rows"
+            )
+        return {
+            "throughput_ops_s": ops / elapsed,
+            "commit_p99_ms": _p99(latencies) * 1e3,
+            "lag_bytes_p99": float(_p99([float(s) for s in lag_samples])),
+            "lag_bytes_max": float(max(lag_samples)),
+            "failover_ms": failover_s * 1e3,
+            "rows_promoted": recovered,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def replication_rows(ops: int) -> list[dict]:
+    """The E14 table: (durability mode × ack mode), one row each.
+
+    Quorum runs with two followers so its majority requirement
+    (``2 // 2 + 1 = 2``, i.e. both) actually differs from semi-sync's
+    any-one-of-them.
+    """
+    rows_out = []
+    for mode in (DurabilityMode.LOG, DurabilityMode.NVM):
+        for ack in (AckMode.ASYNC, AckMode.SEMI_SYNC, AckMode.QUORUM):
+            n = 2 if ack is AckMode.QUORUM else 1
+            result = measure_replication(mode, ack, ops, followers=n)
+            rows_out.append(
+                {
+                    "mode": mode.value,
+                    "ack": ack.value,
+                    "followers": n,
+                    "throughput_ops_s": result["throughput_ops_s"],
+                    "commit_p99_ms": result["commit_p99_ms"],
+                    "lag_bytes_p99": result["lag_bytes_p99"],
+                    "failover_ms": result["failover_ms"],
+                }
+            )
+    return rows_out

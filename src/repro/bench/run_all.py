@@ -536,6 +536,17 @@ def run_e13(quick: bool) -> str:
     )
 
 
+def run_e14(quick: bool) -> str:
+    from repro.bench.replication import replication_rows
+
+    ops = 150 if quick else 400
+    return _finish(
+        "E14",
+        replication_rows(ops),
+        "E14: replication lag vs write throughput vs failover time",
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -549,6 +560,7 @@ EXPERIMENTS = {
     "E11": run_e11,
     "E12": run_e12,
     "E13": run_e13,
+    "E14": run_e14,
 }
 
 # Raw rows exported by runners that support --json (keyed by experiment).

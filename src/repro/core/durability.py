@@ -142,10 +142,41 @@ class NvmDriver(DurabilityDriver):
         super().__init__(path, config)
         self._pool: Optional[PMemPool] = None
         self._catalog: Optional[NvmCatalog] = None
+        # Secondary "ship log": NVM durability needs no WAL, but WAL
+        # shipping needs a log stream to tail. When replication is
+        # attached (see repro.replication.WalShipper) a group_size=0
+        # writer mirrors every operation here purely for followers —
+        # the pmem pool stays the engine's own durability mechanism.
+        self._ship_wal: Optional[LogWriter] = None
 
     @property
     def pool_dir(self) -> str:
         return os.path.join(self.path, "pmem")
+
+    @property
+    def ship_log_path(self) -> str:
+        return os.path.join(self.path, "ship.log")
+
+    @property
+    def ship_checkpoint_path(self) -> str:
+        return os.path.join(self.path, "ship.ckpt")
+
+    @property
+    def wal(self) -> Optional[LogWriter]:
+        """The shippable stream: the ship log when replication is on."""
+        return self._ship_wal
+
+    def attach_ship_log(self, wal: LogWriter) -> None:
+        """Start mirroring every transaction into ``wal``.
+
+        The shipper calls this right after writing the ship checkpoint
+        (a physical snapshot followers bootstrap from), with the engine
+        quiescent — so the log stream begins exactly at the snapshot's
+        state and every later operation is mirrored through the
+        manager's WAL hook.
+        """
+        self._ship_wal = wal
+        self._db._manager._wal = wal
 
     @property
     def pool(self) -> Optional[PMemPool]:
@@ -209,6 +240,10 @@ class NvmDriver(DurabilityDriver):
             persistent_dict_index=self.config.persistent_dict_index,
         )
         self._catalog.register_table(table, {}, self.config.persistent_dict_index)
+        if self._ship_wal is not None:
+            self._ship_wal.log_create_table(
+                table.table_id, name, schema.to_bytes()
+            )
         return table
 
     def on_index_created(self, table: Table) -> None:
@@ -216,23 +251,55 @@ class NvmDriver(DurabilityDriver):
 
     def on_table_dropped(self, table: Table) -> None:
         self._catalog.mark_dropped(table.table_id)
+        if self._ship_wal is not None:
+            self._ship_wal.log_drop_table(table.table_id)
 
     def on_merge(self, table: Table, plan=None) -> None:
         # The content descriptor swap is the durable cutover: one atomic
         # pointer store after the new generation's structures persist.
         self._catalog.publish_content(table, self._db._indexes[table.table_id])
+        if self._ship_wal is not None and plan is not None:
+            self._ship_wal.log_merge(
+                table.table_id,
+                plan.watermark,
+                plan.main_mask,
+                plan.delta_mask,
+            )
+
+    def log_bulk_load(
+        self, table: Table, value_rows: Sequence[Sequence], cid: int
+    ) -> None:
+        # Bulk loads bypass the manager's WAL hook (NVM needs no log),
+        # so mirror them into the ship log explicitly.
+        if self._ship_wal is None:
+            return
+        tid = self._db._manager._tids.next()
+        self._ship_wal.log_insert_many(
+            tid, table.table_id, list(zip(*value_rows))
+        )
+        lsn = self._ship_wal.append_commit(tid, cid)
+        self._ship_wal.commit_barrier(lsn)
 
     @property
     def persistent_delta_index(self) -> bool:
         return self.config.persistent_delta_index
 
     def close(self) -> None:
+        if self._ship_wal is not None:
+            self._ship_wal.close()
+            self._ship_wal = None
         if self._pool is not None:
             self._pool.close(clean=True)
 
     def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
         if self._pool is not None:
             self._pool.crash(survivor_fraction=survivor_fraction, seed=seed)
+        if self._ship_wal is not None:
+            # The ship log is an ordinary file: it tears like the WAL.
+            self._ship_wal.crash(
+                survivor_fraction=survivor_fraction, seed=seed, torn_tail=True
+            )
+            self._ship_wal = None
 
     def extra_stats(self) -> dict:
         return {"nvm": self._pool.stats.snapshot()}
@@ -292,6 +359,11 @@ class LogDriver(VolatileDriver):
         return os.path.join(self.path, "wal.log")
 
     @property
+    def wal(self) -> Optional[LogWriter]:
+        """The live log writer (the shippable stream for replication)."""
+        return self._wal
+
+    @property
     def checkpoint_path(self) -> str:
         return os.path.join(self.path, "checkpoint.ckpt")
 
@@ -342,6 +414,12 @@ class LogDriver(VolatileDriver):
         ):
             with open(self.log_path, "r+b") as f:
                 f.truncate(end_lsn)
+                # Make the truncation itself durable: a crash after this
+                # point must not resurrect the torn bytes underneath a
+                # writer that believes (and tells its reader) the tail
+                # ends at ``end_lsn``.
+                f.flush()
+                os.fsync(f.fileno())
 
     def _max_logged_tid(self) -> int:
         """New tids must not collide with tids of transactions that are

@@ -71,6 +71,13 @@ class SweepSettings:
     sample: Optional[int] = None
     seed: int = 7
     extent_size: int = SWEEP_EXTENT
+    #: Ack mode for the ``replicated`` workload (async/semi_sync/quorum).
+    ack_mode: str = "semi_sync"
+
+
+#: Key of the row the post-promotion pin writes (disjoint from any key a
+#: workload planner can generate).
+PIN_KEY = 10**9
 
 
 @dataclass
@@ -91,6 +98,17 @@ class CrashSweep:
         self.settings = settings
         self.workload = make_workload(settings.workload, settings.seed)
         self.mode = DurabilityMode(settings.mode)
+        self.replicated = settings.workload == "replicated"
+        if self.replicated:
+            if settings.shards != 1:
+                raise ValueError(
+                    "the replicated workload ships from a single primary "
+                    "(shards must be 1)"
+                )
+            if self.mode is DurabilityMode.NONE:
+                raise ValueError(
+                    "a NONE-mode engine has no shippable log to replicate"
+                )
         os.makedirs(root, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -281,11 +299,18 @@ class CrashSweep:
 
         engine = self._open(path)
         self._setup(engine)  # not injected: the baseline must exist
+        shipper = follower = None
+        if self.replicated:
+            # Attach before arming: the shipper needs a quiescent
+            # primary, and it adds no persistence events of its own, so
+            # crash-point numbering matches the unreplicated workload.
+            shipper, follower = self._attach_replication(engine, path)
         oracle = Oracle(self.workload.baseline)
         # Keys whose concurrent op's commit() returned before the power
         # died: those acknowledgements are binding (sync commit), so
         # recovery must keep them even though the step never finished.
         self._completed_ops: set = set()
+        executed: list[Step] = []
         fired = False
         injector = CrashPointInjector(crash_at=point)
         with injector:
@@ -294,8 +319,14 @@ class CrashSweep:
                     oracle.begin_step(step)
                     self._execute(engine, step)
                     oracle.commit_step()
+                    executed.append(step)
             except SimulatedPowerFailure:
                 fired = True
+            if shipper is not None:
+                # The wire goes down with the primary: records the
+                # tailer had not shipped yet never reach the follower
+                # (the in-flight-bytes case promotion must tolerate).
+                shipper.stop()
             # Cut the power while the injector is still armed: sharded
             # fan-out workers that outlive the failing one keep hitting
             # the open breaker instead of quietly persisting post-crash
@@ -305,12 +336,19 @@ class CrashSweep:
                 seed=self.settings.seed * 100003 + (point or 0),
             )
 
+        follower_problems: list = []
+        if follower is not None:
+            follower_problems = self._check_follower(
+                follower, oracle, executed
+            )
+
         t0 = time.perf_counter()
         recovered = self._open(path)
         recovery_seconds = time.perf_counter() - t0
         try:
             problems = list(recovered.verify())
             problems.extend(self._check_state(recovered, oracle))
+            problems.extend(follower_problems)
             phases: dict[str, float] = {}
             report = recovered.last_recovery
             if report is not None:
@@ -379,30 +417,49 @@ class CrashSweep:
             return [groups[shard] for shard in sorted(groups)]
         return [effects]
 
+    def _oracle_expectation(self, oracle: Oracle) -> tuple[dict, list[dict]]:
+        """(committed shadow, optional pending groups) for validation.
+
+        Concurrent ops whose commit() was acknowledged are committed,
+        not optional: fold them into the shadow and check them as
+        strictly as finished steps.
+        """
+        committed = oracle.committed
+        groups = self._pending_groups(oracle.pending)
+        completed = getattr(self, "_completed_ops", set())
+        if completed:
+            committed = dict(committed)
+            mandatory = [g for g in groups if set(g) <= completed]
+            groups = [g for g in groups if not set(g) <= completed]
+            for group in mandatory:
+                for key, note in group.items():
+                    if note is None:
+                        committed.pop(key, None)
+                    else:
+                        committed[key] = note
+        return committed, groups
+
     def _check_state(self, engine: Engine, oracle: Oracle) -> list[str]:
         if self.mode is DurabilityMode.NONE:
             # Nothing may survive a power failure without durability.
             committed: dict = {}
             groups: list[dict] = []
         else:
-            committed = oracle.committed
-            groups = self._pending_groups(oracle.pending)
-            completed = getattr(self, "_completed_ops", set())
-            if completed:
-                # Concurrent ops whose commit() was acknowledged are
-                # committed, not optional: fold them into the shadow
-                # and check them as strictly as finished steps.
-                committed = dict(committed)
-                mandatory = [g for g in groups if set(g) <= completed]
-                groups = [g for g in groups if not set(g) <= completed]
-                for group in mandatory:
-                    for key, note in group.items():
-                        if note is None:
-                            committed.pop(key, None)
-                        else:
-                            committed[key] = note
+            committed, groups = self._oracle_expectation(oracle)
         found, problems = self._found_rows(engine)
+        kind = oracle.pending.kind if oracle.pending is not None else None
+        problems.extend(self._diff(found, committed, groups, kind))
+        return problems
 
+    def _diff(
+        self,
+        found: dict,
+        committed: dict,
+        groups: list[dict],
+        kind: Optional[str],
+    ) -> list[str]:
+        """Compare recovered rows against a shadow + optional groups."""
+        problems: list[str] = []
         expected = dict(committed)
         for index, group in enumerate(groups):
             verdicts = set()
@@ -426,7 +483,7 @@ class CrashSweep:
             if len(verdicts) > 1:
                 problems.append(
                     f"atomicity violation: in-flight group {index} of "
-                    f"{oracle.pending.kind} applied partially "
+                    f"{kind} applied partially "
                     f"(keys {sorted(group)})"
                 )
             elif verdicts == {"applied"}:
@@ -453,6 +510,157 @@ class CrashSweep:
                     f"row {key}: expected {expected[key]!r}, "
                     f"found {found[key]!r}"
                 )
+        return problems
+
+    # ------------------------------------------------------------------
+    # Replication (the `replicated` workload)
+    # ------------------------------------------------------------------
+
+    def _attach_replication(self, engine: Engine, path: str):
+        from repro.replication import Follower, WalShipper
+
+        shipper = WalShipper(
+            engine,
+            ack_mode=self.settings.ack_mode,
+            # Generous: a local follower acks in microseconds, so a
+            # timeout would silently degrade the very guarantee the
+            # sweep exists to check.
+            ack_timeout_s=20.0,
+        )
+        follower = shipper.add_follower(Follower(path + "-replica"))
+        shipper.start()
+        # Barrier the attach-time backlog (the workload's baseline rows
+        # were committed before the shipper existed, so no ack mode ever
+        # waited on them). Production would not enable semi-sync either
+        # before the replica caught up; without this, an early crash
+        # point races the tailer over the baseline and the follower
+        # check reports rows no acknowledgement ever covered.
+        if not shipper.sync_followers(timeout_s=20.0):
+            raise RuntimeError("follower failed to apply the baseline")
+        return shipper, follower
+
+    def _promoted_config(self) -> EngineConfig:
+        return EngineConfig(
+            mode=DurabilityMode.LOG,
+            group_commit_size=1,
+            merge_cutover_timeout_s=1.0,
+        )
+
+    def _check_follower(
+        self, follower, oracle: Oracle, executed: list[Step]
+    ) -> list[str]:
+        """Promote the follower and hold it to its ack-mode contract.
+
+        * semi_sync / quorum — every acknowledged commit waited for the
+          follower's apply, so the promoted replica must pass the same
+          check as a recovered primary: the full committed shadow plus
+          all-or-nothing pending groups.
+        * async — the follower holds some *prefix* of the commit
+          history (bounded by the primary's fsync frontier at the cut):
+          its state must equal the baseline plus the first k steps'
+          effects plus an atomic subset of step k+1's groups, for some
+          k. Anything that matches no prefix is a consistency bug, not
+          mere staleness.
+
+        Then the post-failover pin: the promoted engine takes a
+        sync-committed write, crashes, and must recover it together
+        with an unchanged pre-crash state — the full write-after-
+        promotion lifecycle (fsync-on-open of the never-synced shipped
+        tail included).
+        """
+        from repro.replication import AckMode
+
+        problems: list[str] = []
+        promoted = follower.promote(self._promoted_config())
+        try:
+            problems.extend(
+                f"follower: {p}" for p in promoted.verify()
+            )
+            found, dups = self._found_rows(promoted)
+            problems.extend(f"follower: {p}" for p in dups)
+            if AckMode(self.settings.ack_mode) is AckMode.ASYNC:
+                diff = self._check_prefix(found, executed, oracle.pending)
+            else:
+                committed, groups = self._oracle_expectation(oracle)
+                kind = (
+                    oracle.pending.kind if oracle.pending is not None else None
+                )
+                diff = self._diff(found, committed, groups, kind)
+            problems.extend(f"follower: {p}" for p in diff)
+            problems.extend(self._check_promoted_pin(promoted, found))
+        finally:
+            shutil.rmtree(follower.path, ignore_errors=True)
+        return problems
+
+    def _check_prefix(
+        self, found: dict, executed: list[Step], pending: Optional[Step]
+    ) -> list[str]:
+        """Async contract: the replica equals *some* commit prefix."""
+        steps = list(executed)
+        if pending is not None:
+            steps.append(pending)
+        shadow = dict(self.workload.baseline)
+        shadows = [dict(shadow)]
+        for step in steps:
+            for key, note in step.effects().items():
+                if note is None:
+                    shadow.pop(key, None)
+                else:
+                    shadow[key] = note
+            shadows.append(dict(shadow))
+        best: Optional[tuple[int, list[str]]] = None
+        for k in range(len(steps), -1, -1):
+            boundary = steps[k] if k < len(steps) else None
+            diff = self._diff(
+                found,
+                shadows[k],
+                self._pending_groups(boundary),
+                boundary.kind if boundary is not None else None,
+            )
+            if not diff:
+                return []
+            if best is None or len(diff) < len(best[1]):
+                best = (k, diff)
+        return [
+            f"replica matches no commit prefix (closest after {best[0]} "
+            f"full steps): {p}"
+            for p in best[1]
+        ]
+
+    def _check_promoted_pin(self, promoted: Database, found: dict) -> list[str]:
+        """Write on the promoted replica, crash it, recover, re-check."""
+        problems: list[str] = []
+        promoted.insert(TABLE, {"key": PIN_KEY, "note": "post-failover"})
+        promoted.crash(
+            survivor_fraction=self.settings.survivor_fraction,
+            seed=self.settings.seed,
+        )
+        reopened = Database(promoted.path, self._promoted_config())
+        try:
+            refound, dups = self._found_rows(reopened)
+            problems.extend(f"promoted: {p}" for p in dups)
+            if refound.pop(PIN_KEY, None) != "post-failover":
+                problems.append(
+                    "promoted: sync-committed post-failover row lost "
+                    "across the promoted engine's own crash+recovery"
+                )
+            if refound != found:
+                changed = {
+                    k: (found.get(k), refound.get(k))
+                    for k in set(found) ^ set(refound)
+                    | {
+                        k
+                        for k in set(found) & set(refound)
+                        if found[k] != refound[k]
+                    }
+                }
+                problems.append(
+                    "promoted: pre-crash state changed across the promoted "
+                    f"engine's own crash+recovery: {changed}"
+                )
+            problems.extend(f"promoted: {p}" for p in reopened.verify())
+        finally:
+            reopened.close()
         return problems
 
     # ------------------------------------------------------------------
@@ -516,6 +724,7 @@ class CrashSweep:
             "workload": self.settings.workload,
             "mode": self.settings.mode,
             "shards": self.settings.shards,
+            "ack_mode": self.settings.ack_mode if self.replicated else None,
             "survivor_fraction": self.settings.survivor_fraction,
             "seed": self.settings.seed,
             "sampled": sampled,
@@ -581,6 +790,12 @@ def main(argv: Optional[list] = None) -> int:
         default="0.0",
         help="comma list of survivor fractions for unflushed state",
     )
+    parser.add_argument(
+        "--acks",
+        default="semi_sync",
+        help="comma list of ack modes for the replicated workload "
+        "(async,semi_sync,quorum); ignored otherwise",
+    )
     parser.add_argument("--out", default=None, help="write the JSON report here")
     parser.add_argument(
         "--root",
@@ -592,10 +807,16 @@ def main(argv: Optional[list] = None) -> int:
     modes = _csv(args.modes, str)
     shard_counts = _csv(args.shards, int)
     survivors = _csv(args.survivors, float)
+    replicated = args.workload == "replicated"
+    ack_modes = _csv(args.acks, str) if replicated else ["semi_sync"]
 
     configs = []
     for mode in modes:
+        if replicated and mode == "none":
+            continue  # nothing shippable without a durable log or pool
         for shards in shard_counts:
+            if replicated and shards != 1:
+                continue  # shipping runs from a single primary
             for survivor in survivors:
                 if mode == "none" and (
                     shards != shard_counts[0] or survivor != survivors[0]
@@ -604,7 +825,8 @@ def main(argv: Optional[list] = None) -> int:
                     # cutover events, and a crash there loses everything
                     # regardless of survivor fraction; one cell suffices.
                     continue
-                configs.append((mode, shards, survivor))
+                for ack in ack_modes:
+                    configs.append((mode, shards, survivor, ack))
 
     if args.root is not None:
         root, cleanup = args.root, False
@@ -614,7 +836,7 @@ def main(argv: Optional[list] = None) -> int:
 
     reports = []
     try:
-        for mode, shards, survivor in configs:
+        for mode, shards, survivor, ack in configs:
             settings = SweepSettings(
                 workload=args.workload,
                 mode=mode,
@@ -622,12 +844,14 @@ def main(argv: Optional[list] = None) -> int:
                 survivor_fraction=survivor,
                 sample=args.sample,
                 seed=args.seed,
+                ack_mode=ack,
             )
-            cell = os.path.join(root, f"{mode}-s{shards}-f{survivor}")
+            cell = os.path.join(root, f"{mode}-s{shards}-f{survivor}-{ack}")
             report = CrashSweep(cell, settings).run()
             reports.append(report)
+            acks_note = f" acks={ack}" if replicated else ""
             print(
-                f"[{mode} shards={shards} survivor={survivor}] "
+                f"[{mode} shards={shards} survivor={survivor}{acks_note}] "
                 f"swept {report['points_swept']}/{report['points_total']} "
                 f"points, {len(report['violations'])} violation(s), "
                 f"{report['elapsed_seconds']:.1f}s",

@@ -26,7 +26,7 @@ from repro.storage.types import DataType
 TABLE = "kv"
 SCHEMA = {"key": DataType.INT64, "note": DataType.STRING}
 
-WORKLOAD_NAMES = ("ycsb", "batch", "maint", "concurrent", "online")
+WORKLOAD_NAMES = ("ycsb", "batch", "maint", "concurrent", "online", "replicated")
 
 
 @dataclass(frozen=True)
@@ -244,6 +244,26 @@ def make_workload(name: str, seed: int = 0) -> SweepWorkload:
             planner.insert(),
             Step("merge"),
             planner.merge_mix(3, 1, 1),
+        ]
+    elif name == "replicated":
+        # Run under WAL shipping: the sweep kills the *primary* at every
+        # persistence boundary, promotes the follower, and verifies that
+        # every acknowledged commit survived on it (per ack mode). A
+        # serial spine keeps crash-point numbering deterministic; the
+        # one concurrent burst exercises the ack barrier under racing
+        # committers. Covers every record type the shipper streams:
+        # single insert, batched insert_many, bulk load, invalidate
+        # (update/delete), merge.
+        initial = planner.fresh_rows(12)
+        steps = [
+            planner.insert(),
+            planner.insert_many(4),
+            planner.update(),
+            Step("merge"),
+            planner.bulk(4),
+            planner.delete(),
+            planner.concurrent_mix(2, 1, 1),
+            planner.insert_many(3),
         ]
     else:
         raise ValueError(f"unknown workload {name!r} (have {WORKLOAD_NAMES})")

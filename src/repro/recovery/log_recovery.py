@@ -9,12 +9,20 @@ Three O(data) phases, timed separately for experiment E2:
    row placement exactly (rowrefs in later records stay valid);
 3. **index_rebuild** — performed by the engine afterwards (group-key and
    delta indexes are volatile here).
+
+The per-record replay logic lives in :class:`LogReplayer` so it can be
+driven by two callers with very different lifetimes: :func:`recover_log`
+runs it over a finite log once at restart, and a replication follower's
+apply loop (``repro.replication.follower``) feeds it records one at a
+time, forever, as they arrive off the wire.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Callable, Optional
+
+import numpy as np
 
 from repro.recovery.report import RecoveryReport
 from repro.storage.backend import VolatileBackend
@@ -36,8 +44,140 @@ from repro.wal.records import (
     InsertManyRecord,
     InsertRecord,
     InvalidateRecord,
+    LogRecord,
     MergeRecord,
 )
+
+
+class LogReplayer:
+    """Applies log records, one at a time, to a set of tables.
+
+    Replay is REDO-only (Sauer & Härder's instant-recovery shape): the
+    log carries committed *and* in-flight operations in original order,
+    so applying them in order reproduces physical row placement exactly;
+    uncommitted work accumulates in ``in_flight`` until its commit or
+    abort record arrives. :meth:`rollback_in_flight` finishes a replay
+    whose log simply *ends* (crash recovery, follower promotion) by
+    rolling back every transaction that never resolved.
+    """
+
+    def __init__(
+        self,
+        backend: VolatileBackend,
+        tables: Optional[dict[int, Table]] = None,
+        last_cid: int = 0,
+        next_table_id: int = 1,
+        report: Optional[RecoveryReport] = None,
+        on_commit: Optional[Callable[[int], None]] = None,
+    ):
+        self.backend = backend
+        self.tables: dict[int, Table] = tables if tables is not None else {}
+        self.names: dict[str, Table] = {
+            t.name: t for t in self.tables.values()
+        }
+        self.in_flight: dict[int, list[tuple[int, int, int]]] = {}
+        self.last_cid = last_cid
+        self.next_table_id = next_table_id
+        self.max_tid = 0
+        self.report = report
+        self.commits_applied = 0
+        # Hook for a follower's ack path: called with the cid after each
+        # commit record's operations become visible.
+        self.on_commit = on_commit
+
+    def apply(self, record: LogRecord) -> None:
+        """Replay one record (op order must match log order)."""
+        if self.report is not None:
+            self.report.log_records_replayed += 1
+        tables = self.tables
+        if isinstance(record, CreateTableRecord):
+            from repro.storage.schema import Schema
+
+            schema = Schema.from_bytes(record.schema_blob)
+            table = Table.create(
+                record.table_id, record.name, schema, self.backend
+            )
+            tables[record.table_id] = table
+            self.names[record.name] = table
+            self.next_table_id = max(self.next_table_id, record.table_id + 1)
+        elif isinstance(record, InsertRecord):
+            table = tables[record.table_id]
+            ref = table.insert_uncommitted(list(record.values), record.tid)
+            self.in_flight.setdefault(record.tid, []).append(
+                (OP_INSERT, record.table_id, ref)
+            )
+            self.max_tid = max(self.max_tid, record.tid)
+        elif isinstance(record, InsertManyRecord):
+            table = tables[record.table_id]
+            first = table.delta.row_count
+            encoded = table.delta.encode_columns(
+                [list(col) for col in record.columns]
+            )
+            table.delta.insert_rows_encoded(encoded, record.tid)
+            self.in_flight.setdefault(record.tid, []).append(
+                (
+                    OP_INSERT_MANY,
+                    record.table_id,
+                    pack_range_ref(first, record.row_count),
+                )
+            )
+            self.max_tid = max(self.max_tid, record.tid)
+        elif isinstance(record, InvalidateRecord):
+            self.in_flight.setdefault(record.tid, []).append(
+                (OP_INVALIDATE, record.table_id, record.ref)
+            )
+            self.max_tid = max(self.max_tid, record.tid)
+        elif isinstance(record, CommitRecord):
+            ops = self.in_flight.pop(record.tid, [])
+            apply_operations(tables.__getitem__, ops, record.cid)
+            self.last_cid = max(self.last_cid, record.cid)
+            self.max_tid = max(self.max_tid, record.tid)
+            self.commits_applied += 1
+            if self.on_commit is not None:
+                self.on_commit(record.cid)
+        elif isinstance(record, AbortRecord):
+            ops = self.in_flight.pop(record.tid, [])
+            rollback_operations(tables.__getitem__, ops)
+            self.max_tid = max(self.max_tid, record.tid)
+        elif isinstance(record, MergeRecord):
+            # Repeat the online-merge cutover. Every transaction with
+            # operations on this table commits or aborts in the log
+            # *before* this record (the cutover excluded them), so
+            # replay state here matches what the fold saw and the
+            # transform is deterministic — later records' rowrefs stay
+            # valid against the rebuilt layout.
+            from repro.storage.merge import replay_merge
+
+            table = tables[record.table_id]
+            replay_merge(
+                table,
+                self.backend,
+                record.watermark,
+                np.asarray(record.main_mask, dtype=bool),
+                np.asarray(record.delta_mask, dtype=bool),
+            )
+            if self.report is not None:
+                self.report.merges_replayed += 1
+        elif isinstance(record, DropTableRecord):
+            dropped = tables.pop(record.table_id, None)
+            if dropped is not None:
+                self.names.pop(dropped.name, None)
+
+    def rollback_in_flight(self) -> int:
+        """Roll back transactions whose commit/abort never arrived.
+
+        Run when the log ends for good — crash recovery's fix-up, or a
+        follower promoting after the primary died mid-transaction.
+        Returns the number of transactions rolled back.
+        """
+        count = 0
+        for ops in self.in_flight.values():
+            rollback_operations(self.tables.__getitem__, ops)
+            count += 1
+            if self.report is not None:
+                self.report.txns_rolled_back += 1
+        self.in_flight.clear()
+        return count
 
 
 def recover_log(
@@ -72,76 +212,21 @@ def recover_log(
 
     end_lsn = start_lsn
     with report.phase("log_replay"):
-        in_flight: dict[int, list[tuple[int, int, int]]] = {}
+        replayer = LogReplayer(
+            backend,
+            tables=tables,
+            last_cid=last_cid,
+            next_table_id=next_table_id,
+            report=report,
+        )
         for record, lsn in read_log(log_path, start_lsn):
             end_lsn = lsn
-            report.log_records_replayed += 1
-            if isinstance(record, CreateTableRecord):
-                from repro.storage.schema import Schema
-
-                schema = Schema.from_bytes(record.schema_blob)
-                tables[record.table_id] = Table.create(
-                    record.table_id, record.name, schema, backend
-                )
-                next_table_id = max(next_table_id, record.table_id + 1)
-            elif isinstance(record, InsertRecord):
-                table = tables[record.table_id]
-                ref = table.insert_uncommitted(list(record.values), record.tid)
-                in_flight.setdefault(record.tid, []).append(
-                    (OP_INSERT, record.table_id, ref)
-                )
-            elif isinstance(record, InsertManyRecord):
-                table = tables[record.table_id]
-                first = table.delta.row_count
-                encoded = table.delta.encode_columns(
-                    [list(col) for col in record.columns]
-                )
-                table.delta.insert_rows_encoded(encoded, record.tid)
-                in_flight.setdefault(record.tid, []).append(
-                    (
-                        OP_INSERT_MANY,
-                        record.table_id,
-                        pack_range_ref(first, record.row_count),
-                    )
-                )
-            elif isinstance(record, InvalidateRecord):
-                in_flight.setdefault(record.tid, []).append(
-                    (OP_INVALIDATE, record.table_id, record.ref)
-                )
-            elif isinstance(record, CommitRecord):
-                ops = in_flight.pop(record.tid, [])
-                apply_operations(tables.__getitem__, ops, record.cid)
-                last_cid = max(last_cid, record.cid)
-            elif isinstance(record, AbortRecord):
-                ops = in_flight.pop(record.tid, [])
-                rollback_operations(tables.__getitem__, ops)
-            elif isinstance(record, MergeRecord):
-                # Repeat the online-merge cutover. Every transaction
-                # with operations on this table commits or aborts in the
-                # log *before* this record (the cutover excluded them),
-                # so replay state here matches what the fold saw and the
-                # transform is deterministic — later records' rowrefs
-                # stay valid against the rebuilt layout.
-                import numpy as np
-
-                from repro.storage.merge import replay_merge
-
-                table = tables[record.table_id]
-                replay_merge(
-                    table,
-                    backend,
-                    record.watermark,
-                    np.asarray(record.main_mask, dtype=bool),
-                    np.asarray(record.delta_mask, dtype=bool),
-                )
-                report.merges_replayed += 1
-            elif isinstance(record, DropTableRecord):
-                tables.pop(record.table_id, None)
+            replayer.apply(record)
         # Transactions with no commit/abort record lost the race with the
         # crash: roll them back.
-        for ops in in_flight.values():
-            rollback_operations(tables.__getitem__, ops)
-            report.txns_rolled_back += 1
+        replayer.rollback_in_flight()
+        last_cid = replayer.last_cid
+        next_table_id = replayer.next_table_id
 
     report.tables = len(tables)
     report.rows_recovered = sum(t.row_count for t in tables.values())

@@ -1,0 +1,24 @@
+"""WAL shipping to read replicas, and failover by promotion.
+
+The paper's instant-restart story covers a single node; this package
+extends it to read scale-out: a :class:`WalShipper` tails the primary's
+log and streams framed records to :class:`Follower` replicas that apply
+them continuously through the same replay machinery crash recovery
+uses. ``Follower.promote()`` turns a replica into a writable primary by
+running exactly the instant-restart fix-up over its local log mirror.
+
+::
+
+    shipper = WalShipper(primary, ack_mode=AckMode.SEMI_SYNC)
+    replica = shipper.add_follower(Follower("/data/replica"))
+    shipper.start()
+    ...                      # commits now wait for the replica's ack
+    primary.crash()          # power failure on the primary
+    shipper.stop()
+    new_primary = replica.promote()   # instant-restart fix-up
+"""
+
+from repro.replication.follower import Follower
+from repro.replication.ship import AckMode, WalShipper
+
+__all__ = ["AckMode", "Follower", "WalShipper"]

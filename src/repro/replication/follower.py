@@ -1,0 +1,255 @@
+"""Read replica: a continuous apply loop over the replay machinery.
+
+A :class:`Follower` is *not* a full engine. It owns DRAM tables rebuilt
+from the primary's checkpoint and a :class:`~repro.recovery.log_recovery.
+LogReplayer` that a background thread feeds with shipped log records —
+the same REDO-only replay crash recovery runs, just never-ending. Reads
+go through the ordinary vectorized scan path at the replayer's last
+applied commit id, so a follower serves the identical query surface as
+the primary, seconds-fresh.
+
+Two invariants make promotion trivial:
+
+* the follower mirrors every shipped frame into a local log file at the
+  **same byte offsets** as the primary's log (the prefix before the
+  bootstrap checkpoint is a hole — ``truncate`` extends the file
+  sparsely), so LSNs mean the same thing on both sides;
+* the bootstrap checkpoint is copied next to that log with its original
+  ``lsn`` field.
+
+``promote()`` therefore is exactly an instant-restart: open a
+:class:`~repro.core.database.Database` in LOG mode over the follower's
+directory — checkpoint load, log replay, torn-tail truncation and
+in-flight rollback all run the code paths the crash sweep already
+certifies.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shutil
+import threading
+import time
+from dataclasses import replace
+from typing import Callable, Optional
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.obs import generation, get_registry
+from repro.query.predicate import Predicate
+from repro.query.scan import ScanResult, scan
+from repro.recovery.log_recovery import LogReplayer
+from repro.storage.backend import VolatileBackend
+from repro.wal.checkpoint import read_checkpoint
+from repro.wal.records import LogRecord
+
+_STOP = object()  # apply-queue sentinel
+
+
+class Follower:
+    """One read replica fed by a :class:`~repro.replication.WalShipper`."""
+
+    def __init__(self, path: str, name: str = "follower"):
+        self.path = path
+        self.name = name
+        self.backend = VolatileBackend()
+        self._replayer: Optional[LogReplayer] = None
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._log_file = None
+        self._applied_lsn = 0
+        self._start_lsn = 0
+        self._applied_cond = threading.Condition()
+        self._on_ack: Optional[Callable[[int], None]] = None
+        self._promoted = False
+        self._instruments_generation = -1
+        self._refresh_instruments()
+
+    def _refresh_instruments(self) -> None:
+        registry = get_registry()
+        self._applies_counter = registry.counter(
+            "follower_applies_total", follower=self.name
+        )
+        self._commits_counter = registry.counter(
+            "follower_commits_applied_total", follower=self.name
+        )
+        self._instruments_generation = generation()
+
+    # -- bootstrap -----------------------------------------------------
+
+    @property
+    def log_path(self) -> str:
+        return os.path.join(self.path, "wal.log")
+
+    @property
+    def checkpoint_path(self) -> str:
+        return os.path.join(self.path, "checkpoint.ckpt")
+
+    def bootstrap(
+        self, checkpoint_src: Optional[str], start_lsn: int
+    ) -> None:
+        """Load the primary's checkpoint; open the local log mirror.
+
+        ``checkpoint_src`` is the primary's checkpoint file (``None``
+        when the primary has none — replay then starts from an empty
+        database at LSN 0). ``start_lsn`` is the primary log offset the
+        stream will start at; it must equal the checkpoint's own
+        ``lsn`` so offsets stay aligned.
+        """
+        os.makedirs(self.path, exist_ok=True)
+        tables = {}
+        last_cid = 0
+        next_table_id = 1
+        if checkpoint_src is not None and os.path.exists(checkpoint_src):
+            if os.path.abspath(checkpoint_src) != os.path.abspath(
+                self.checkpoint_path
+            ):
+                shutil.copyfile(checkpoint_src, self.checkpoint_path)
+            data = read_checkpoint(self.checkpoint_path)
+            if data.lsn != start_lsn:
+                raise ValueError(
+                    f"checkpoint lsn {data.lsn} != stream start {start_lsn}"
+                )
+            from repro.wal.checkpoint import restore_table
+
+            last_cid = data.last_cid
+            next_table_id = data.next_table_id
+            for snapshot in data.tables:
+                tables[snapshot.table_id] = restore_table(
+                    snapshot, self.backend
+                )
+        elif start_lsn:
+            raise ValueError(
+                f"stream starts at {start_lsn} but there is no checkpoint"
+            )
+        self._replayer = LogReplayer(
+            self.backend,
+            tables=tables,
+            last_cid=last_cid,
+            next_table_id=next_table_id,
+        )
+        # Local log mirror at primary byte offsets: the pre-checkpoint
+        # prefix is a sparse hole, appends start exactly at start_lsn.
+        self._log_file = open(self.log_path, "wb")
+        self._log_file.truncate(start_lsn)
+        self._log_file.seek(start_lsn)
+        self._start_lsn = start_lsn
+        self._applied_lsn = start_lsn
+
+    # -- apply loop ----------------------------------------------------
+
+    def start(self) -> None:
+        if self._replayer is None:
+            raise RuntimeError("bootstrap() before start()")
+        self._thread = threading.Thread(
+            target=self._apply_loop, name=f"apply-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def enqueue(self, frame: bytes, record: LogRecord, end_lsn: int) -> None:
+        """Hand one shipped frame to the apply loop (shipper thread)."""
+        self._queue.put((frame, record, end_lsn))
+
+    def _apply_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            frame, record, end_lsn = item
+            # Mirror first, apply second: if the apply loop dies between
+            # the two, the log holds at least everything applied — the
+            # promotion replay can only know *more* than the tables do.
+            self._log_file.write(frame)
+            self._replayer.apply(record)
+            if self._instruments_generation != generation():
+                self._refresh_instruments()
+            self._applies_counter.inc()
+            if record.__class__.__name__ == "CommitRecord":
+                self._commits_counter.inc()
+            with self._applied_cond:
+                self._applied_lsn = end_lsn
+                self._applied_cond.notify_all()
+            on_ack = self._on_ack
+            if on_ack is not None:
+                on_ack(end_lsn)
+
+    @property
+    def applied_lsn(self) -> int:
+        """Primary log offset up to which this follower has applied."""
+        return self._applied_lsn
+
+    @property
+    def last_cid(self) -> int:
+        return self._replayer.last_cid if self._replayer else 0
+
+    def wait_for(self, lsn: int, timeout_s: float = 10.0) -> bool:
+        """Block until the apply frontier reaches ``lsn`` (or timeout)."""
+        deadline = time.monotonic() + timeout_s
+        with self._applied_cond:
+            while self._applied_lsn < lsn:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._applied_cond.wait(remaining)
+        return True
+
+    # -- reads ---------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        return sorted(self._replayer.names)
+
+    def query(
+        self, table_name: str, predicate: Optional[Predicate] = None
+    ) -> ScanResult:
+        """Vectorized scan at the last applied commit's snapshot.
+
+        Commit application is atomic with respect to MVCC visibility
+        (begin-cid stores publish the rows), so a scan pinned at the
+        captured ``last_cid`` is consistent even while the apply loop
+        keeps running.
+        """
+        replayer = self._replayer
+        try:
+            table = replayer.names[table_name]
+        except KeyError:
+            raise KeyError(
+                f"no table {table_name!r}; have {sorted(replayer.names)}"
+            ) from None
+        return scan(table, snapshot_cid=replayer.last_cid, predicate=predicate)
+
+    # -- failover ------------------------------------------------------
+
+    def promote(self, config: Optional[EngineConfig] = None):
+        """Stop applying and reopen this replica as a writable primary.
+
+        Drains the apply queue, flushes the local log mirror, then runs
+        the **instant-restart fix-up** over the follower directory:
+        opening a LOG-mode :class:`~repro.core.database.Database` there
+        replays checkpoint + log, truncates whatever torn tail the dead
+        primary shipped, and rolls back transactions whose commit never
+        arrived. Returns the opened database.
+        """
+        self._stop_apply()
+        if self._log_file is not None and not self._log_file.closed:
+            self._log_file.flush()
+            self._log_file.close()
+        self._promoted = True
+        if config is None:
+            config = EngineConfig(mode=DurabilityMode.LOG)
+        elif config.mode is not DurabilityMode.LOG:
+            config = replace(config, mode=DurabilityMode.LOG)
+        from repro.core.database import Database
+
+        return Database(self.path, config)
+
+    def _stop_apply(self) -> None:
+        if self._thread is not None and self._thread.is_alive():
+            self._queue.put(_STOP)
+            self._thread.join()
+        self._thread = None
+
+    def close(self) -> None:
+        self._stop_apply()
+        if self._log_file is not None and not self._log_file.closed:
+            self._log_file.flush()
+            self._log_file.close()

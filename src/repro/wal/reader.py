@@ -3,76 +3,189 @@
 Records are decoded from a fixed-size sliding window rather than a
 whole-file slurp, so recovering a multi-gigabyte log needs O(chunk)
 memory no matter how large the log grew between checkpoints.
+
+Two reading modes share the frame parser:
+
+* :class:`LogScan` / :func:`read_log` — the recovery scan: iterate until
+  the first incomplete or CRC-failing frame and stop, exposing *where*
+  and *why* iteration stopped (``last_good_lsn`` / ``stop_reason``), so
+  callers can tell a clean end-of-log from a torn tail.
+* :func:`tail_log` — the live tail a replication shipper runs against a
+  log that is still being written: an incomplete or CRC-failing frame is
+  (usually) a record the writer has not finished flushing, not permanent
+  corruption, so the tailer re-polls from the same offset instead of
+  giving up.
 """
 
 from __future__ import annotations
 
 import os
 import struct
+import time
 import zlib
-from typing import Iterator
+from typing import Callable, Iterator, Optional
 
-from repro.wal.records import LogRecord, decode_payload
+from repro.wal.records import MAX_RECORD_BYTES, LogRecord, decode_payload
+
+__all__ = [
+    "CHUNK_SIZE",
+    "MAX_RECORD_BYTES",
+    "LogScan",
+    "read_log",
+    "tail_log",
+    "count_records",
+]
 
 #: Read granularity of the sliding window.
 CHUNK_SIZE = 256 * 1024
 
-#: Frames we write are at most a few MiB (one batched insert-many); a
-#: length prefix beyond this bound is torn-tail garbage, not a record —
-#: without the cap, a corrupt length could make the reader buffer an
-#: arbitrarily large slice of the file before the CRC rejects it.
-MAX_RECORD_BYTES = 64 * 1024 * 1024
-
 _HEADER = struct.Struct("<II")
 
+#: ``LogScan.stop_reason`` values.
+STOP_MISSING = "missing"  # the log file does not exist
+STOP_EOF = "eof"  # clean EOF exactly at a frame boundary
+STOP_SHORT = "short"  # the file ends inside a frame (truncated tail)
+STOP_CRC = "crc"  # a complete-looking frame failed its CRC
+STOP_OVERSIZE = "oversize"  # length prefix beyond MAX_RECORD_BYTES
 
-def read_log(path: str, start_lsn: int = 0) -> Iterator[tuple[LogRecord, int]]:
-    """Yield (record, end_lsn) from ``start_lsn`` until EOF or corruption.
+
+class LogScan:
+    """Iterator over ``(record, end_lsn)`` with explicit stopping state.
 
     ``end_lsn`` is the byte offset just past the record — the LSN a
     checkpoint taken after applying it should store. Iteration stops at
-    the first truncated or CRC-failing frame (the torn tail a crash
-    leaves behind).
+    the first frame that is incomplete or fails its CRC; afterwards:
+
+    * ``last_good_lsn`` — offset just past the last intact frame (equal
+      to ``start_lsn`` when nothing decoded). A recovery that truncates
+      the torn tail truncates to exactly this offset; a tailer resumes
+      from it.
+    * ``stop_reason`` — ``None`` while iterating, then one of ``"eof"``
+      (clean end at a frame boundary), ``"short"`` (file ends inside a
+      frame), ``"crc"``, ``"oversize"`` (garbage length prefix), or
+      ``"missing"``. Only ``"eof"``/``"missing"`` mean the log is whole;
+      everything else is a torn tail — or, on a *live* log, a frame the
+      writer has not finished flushing yet (:func:`tail_log` retries
+      exactly these).
     """
-    if not os.path.exists(path):
-        return
-    with open(path, "rb") as f:
-        f.seek(start_lsn)
-        buffer = bytearray()
-        base = start_lsn  # absolute LSN of buffer[0]
-        pos = start_lsn  # absolute LSN of the next frame
-        eof = False
 
-        def fill(need: int) -> bool:
-            """Grow the buffer until ``need`` bytes follow ``pos``."""
-            nonlocal eof
-            while not eof and len(buffer) - (pos - base) < need:
-                chunk = f.read(CHUNK_SIZE)
-                if chunk:
-                    buffer.extend(chunk)
-                else:
-                    eof = True
-            return len(buffer) - (pos - base) >= need
+    def __init__(self, path: str, start_lsn: int = 0):
+        self.path = path
+        self.start_lsn = start_lsn
+        self.last_good_lsn = start_lsn
+        self.stop_reason: Optional[str] = None
+        self._gen = self._scan()
 
-        while True:
-            if not fill(_HEADER.size):
-                return
-            length, crc = _HEADER.unpack_from(buffer, pos - base)
-            if length > MAX_RECORD_BYTES:
-                return
-            if not fill(_HEADER.size + length):
-                return
-            start = pos - base + _HEADER.size
-            payload = bytes(buffer[start : start + length])
-            if zlib.crc32(payload) != crc:
-                return
-            pos += _HEADER.size + length
-            yield decode_payload(payload), pos
-            # Slide the window: drop consumed bytes once a chunk's worth
-            # has accumulated (amortised O(1) per byte).
-            if pos - base >= CHUNK_SIZE:
-                del buffer[: pos - base]
-                base = pos
+    def __iter__(self) -> "LogScan":
+        return self
+
+    def __next__(self) -> tuple[LogRecord, int]:
+        return next(self._gen)
+
+    def _scan(self) -> Iterator[tuple[LogRecord, int]]:
+        if not os.path.exists(self.path):
+            self.stop_reason = STOP_MISSING
+            return
+        with open(self.path, "rb") as f:
+            f.seek(self.start_lsn)
+            buffer = bytearray()
+            base = self.start_lsn  # absolute LSN of buffer[0]
+            pos = self.start_lsn  # absolute LSN of the next frame
+            eof = False
+
+            def fill(need: int) -> bool:
+                """Grow the buffer until ``need`` bytes follow ``pos``."""
+                nonlocal eof
+                while not eof and len(buffer) - (pos - base) < need:
+                    chunk = f.read(CHUNK_SIZE)
+                    if chunk:
+                        buffer.extend(chunk)
+                    else:
+                        eof = True
+                return len(buffer) - (pos - base) >= need
+
+            while True:
+                if not fill(_HEADER.size):
+                    # Nothing after the last frame is a clean end; a
+                    # few stray bytes are a truncated header.
+                    at_boundary = len(buffer) - (pos - base) == 0
+                    self.stop_reason = STOP_EOF if at_boundary else STOP_SHORT
+                    return
+                length, crc = _HEADER.unpack_from(buffer, pos - base)
+                if length > MAX_RECORD_BYTES:
+                    self.stop_reason = STOP_OVERSIZE
+                    return
+                if not fill(_HEADER.size + length):
+                    self.stop_reason = STOP_SHORT
+                    return
+                start = pos - base + _HEADER.size
+                payload = bytes(buffer[start : start + length])
+                if zlib.crc32(payload) != crc:
+                    self.stop_reason = STOP_CRC
+                    return
+                pos += _HEADER.size + length
+                self.last_good_lsn = pos
+                yield decode_payload(payload), pos
+                # Slide the window: drop consumed bytes once a chunk's
+                # worth has accumulated (amortised O(1) per byte).
+                if pos - base >= CHUNK_SIZE:
+                    del buffer[: pos - base]
+                    base = pos
+
+
+def read_log(path: str, start_lsn: int = 0) -> LogScan:
+    """Scan ``(record, end_lsn)`` from ``start_lsn`` until EOF or torn tail.
+
+    Returns a :class:`LogScan`, so callers that care can read
+    ``last_good_lsn``/``stop_reason`` after the iteration instead of
+    guessing where — and why — it stopped.
+    """
+    return LogScan(path, start_lsn)
+
+
+def tail_log(
+    path: str,
+    from_lsn: int = 0,
+    *,
+    poll_interval_s: float = 0.001,
+    stop: Optional[Callable[[], bool]] = None,
+    frontier: Optional[Callable[[], int]] = None,
+) -> Iterator[tuple[LogRecord, int]]:
+    """Follow a live log: yield ``(record, end_lsn)`` as frames appear.
+
+    Unlike :func:`read_log`, an incomplete or CRC-failing frame does not
+    end iteration — on a log with an active writer it is (almost always)
+    a record whose bytes have not all reached the file yet, so the
+    tailer sleeps ``poll_interval_s`` and re-reads *from the same
+    offset* until the frame completes. Genuine corruption below a known
+    frontier therefore spins rather than yields garbage; a shipper
+    bounds that with ``stop``.
+
+    * ``stop`` — checked between records and on every poll; return True
+      to end iteration (the only way a tail ends).
+    * ``frontier`` — optional byte-offset bound (e.g. the primary's
+      durable frontier for async replication): records ending past
+      ``frontier()`` are withheld until the frontier advances past them.
+    """
+    pos = from_lsn
+    while True:
+        if stop is not None and stop():
+            return
+        limit = frontier() if frontier is not None else None
+        progressed = False
+        if limit is None or limit > pos:
+            scan = LogScan(path, pos)
+            for record, end in scan:
+                if limit is not None and end > limit:
+                    break
+                pos = end
+                progressed = True
+                yield record, end
+                if stop is not None and stop():
+                    return
+                limit = frontier() if frontier is not None else None
+        if not progressed:
+            time.sleep(poll_interval_s)
 
 
 def count_records(path: str, start_lsn: int = 0) -> int:

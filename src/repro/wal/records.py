@@ -30,6 +30,24 @@ TYPE_DROP_TABLE = 6
 TYPE_INSERT_MANY = 7
 TYPE_MERGE = 8
 
+#: Hard bound on a single frame's payload, shared by both ends of the
+#: log: the reader treats any length prefix beyond it as torn-tail
+#: garbage (without the cap a corrupt length could make it buffer an
+#: arbitrarily large slice of the file before the CRC rejects it), and
+#: the writer therefore must never produce a larger frame — it splits
+#: oversized batches and rejects unsplittable records at append time.
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+
+class RecordTooLarge(ValueError):
+    """A single record's frame would exceed :data:`MAX_RECORD_BYTES`.
+
+    Raised at append time, before the transaction is acknowledged: a
+    larger frame would commit successfully but be unreplayable at
+    recovery (the reader rejects it as garbage), silently truncating
+    everything logged after it.
+    """
+
 _KIND_NULL = 0
 _KIND_INT = 1
 _KIND_FLOAT = 2

@@ -40,6 +40,7 @@ from repro.nvm.latency import persistence_event
 from repro.obs import generation, get_registry
 from repro.storage.types import Value
 from repro.wal.records import (
+    MAX_RECORD_BYTES,
     AbortRecord,
     CommitRecord,
     CreateTableRecord,
@@ -49,21 +50,29 @@ from repro.wal.records import (
     InvalidateRecord,
     LogRecord,
     MergeRecord,
+    RecordTooLarge,
     encode_record,
 )
+
+_FRAME_HEADER = 8  # u32 length | u32 crc32
 
 
 class LogWriter:
     """Appends framed records to the log file."""
 
     def __init__(
-        self, path: str, group_size: int = 1, fsync_delay_s: float = 0.0
+        self,
+        path: str,
+        group_size: int = 1,
+        fsync_delay_s: float = 0.0,
+        max_record_bytes: int = MAX_RECORD_BYTES,
     ):
         if group_size < 0:
             raise ValueError("group_size must be >= 0")
         self._path = path
         self._file = open(path, "ab")
         self._group_size = group_size
+        self._max_record_bytes = max_record_bytes
         # Modelled device latency added to every fsync. Implemented
         # with a GIL-releasing sleep so concurrent committers genuinely
         # overlap their barrier waits (E12 sweeps this).
@@ -72,7 +81,20 @@ class LogWriter:
         self.records_written = 0
         self.syncs = 0
         self.bytes_written = os.path.getsize(path)
+        if self.bytes_written:
+            # Reopening an existing tail: nothing proves those bytes ever
+            # reached stable storage — crash recovery truncates without
+            # fsyncing, and a promoted follower's log was written by an
+            # apply loop that never synced. ``_synced_lsn`` below claims
+            # the whole tail is durable (so a commit at or before it
+            # skips its fsync in ``_sync_to``); make that claim true
+            # before the first commit can rely on it.
+            os.fsync(self._file.fileno())
         self._synced_lsn = self.bytes_written
+        # Replication hook (see repro.replication.WalShipper): when set,
+        # ``commit_barrier`` additionally waits for follower apply-acks
+        # per the shipper's acknowledgement mode.
+        self._replication = None
         # Group-commit coordinator state. ``_append_lock`` serialises
         # record appends (file writes + byte accounting); ``_sync_cond``
         # guards the leader election: at most one thread fsyncs at a
@@ -114,9 +136,40 @@ class LogWriter:
         """Current end-of-log byte offset (all records written so far)."""
         return self.bytes_written
 
+    @property
+    def durable_lsn(self) -> int:
+        """Byte offset up to which the log is known fsynced."""
+        return self._synced_lsn
+
+    def set_replication(self, hook) -> None:
+        """Attach (or detach with ``None``) a replication coordinator.
+
+        The hook's ``wait_commit(lsn)`` is called from
+        :meth:`commit_barrier` after the local durability policy is
+        satisfied, so semi-sync/quorum modes can hold the commit
+        acknowledgement for follower apply-acks.
+        """
+        self._replication = hook
+
+    def flush_to_os(self) -> int:
+        """Flush userspace buffers to the OS (no fsync); returns the
+        flushed frontier. A log tailer on the same host sees every byte
+        up to this offset."""
+        with self._append_lock:
+            self._file.flush()
+            return self.bytes_written
+
     def _write(self, record: LogRecord) -> int:
         """Append one framed record; returns its end-LSN."""
-        frame = encode_record(record)
+        return self._write_frame(encode_record(record))
+
+    def _write_frame(self, frame: bytes) -> int:
+        if len(frame) - _FRAME_HEADER > self._max_record_bytes:
+            raise RecordTooLarge(
+                f"record frame of {len(frame) - _FRAME_HEADER} payload bytes "
+                f"exceeds the replayable bound of {self._max_record_bytes}; "
+                "the reader would reject it as torn-tail garbage"
+            )
         with self._append_lock:
             self._file.write(frame)
             self.bytes_written += len(frame)
@@ -223,6 +276,13 @@ class LogWriter:
                 trigger = self._pending_commits >= self._group_size
             if trigger:
                 self._sync_to(lsn)
+        # Replication barrier: once the commit is locally
+        # acknowledgeable, semi-sync/quorum modes additionally wait for
+        # follower apply-acks (async returns immediately but still
+        # timestamps the commit for lag accounting).
+        replication = self._replication
+        if replication is not None:
+            replication.wait_commit(lsn)
         if self._instruments_generation != generation():
             self._refresh_instruments()
         self.commits_acked += 1
@@ -239,9 +299,44 @@ class LogWriter:
     def log_insert_many(
         self, tid: int, table_id: int, columns: Sequence[Sequence[Value]]
     ) -> None:
-        """One framed record for a whole batch (column-major values)."""
-        self._write(
-            InsertManyRecord(tid, table_id, tuple(tuple(c) for c in columns))
+        """One framed record for a whole batch (column-major values).
+
+        A batch whose encoded frame would exceed the reader's
+        :data:`~repro.wal.records.MAX_RECORD_BYTES` bound is split by
+        rows into several contiguous records under the same tid —
+        replay accumulates operations per transaction, so the halves
+        commit (or roll back) together. A single row too large to frame
+        at all raises :class:`~repro.wal.records.RecordTooLarge` before
+        the transaction can be acknowledged.
+        """
+        self._append_insert_many(
+            tid, table_id, tuple(tuple(c) for c in columns)
+        )
+
+    def _append_insert_many(
+        self, tid: int, table_id: int, columns: tuple
+    ) -> None:
+        frame = encode_record(InsertManyRecord(tid, table_id, columns))
+        if len(frame) - _FRAME_HEADER <= self._max_record_bytes:
+            self._write_frame(frame)
+            return
+        rows = len(columns[0]) if columns else 0
+        if rows <= 1:
+            # Unsplittable: one row alone busts the frame bound. The
+            # caller still holds the append latch context, so nothing
+            # of this batch has been written — the transaction fails
+            # before its data could become unreplayable.
+            raise RecordTooLarge(
+                f"a single row of table {table_id} encodes to "
+                f"{len(frame) - _FRAME_HEADER} payload bytes, beyond the "
+                f"replayable bound of {self._max_record_bytes}"
+            )
+        half = rows // 2
+        self._append_insert_many(
+            tid, table_id, tuple(col[:half] for col in columns)
+        )
+        self._append_insert_many(
+            tid, table_id, tuple(col[half:] for col in columns)
         )
 
     def log_invalidate(self, tid: int, table_id: int, ref: int) -> None:
@@ -259,6 +354,9 @@ class LogWriter:
             )
         if trigger:
             self._sync_to(end_lsn)
+        replication = self._replication
+        if replication is not None:
+            replication.wait_commit(end_lsn)
         self.commits_acked += 1
         self._acked_counter.inc()
 

@@ -261,6 +261,81 @@ def test_sweep_online_merge_workload(tmp_path, mode, shards):
     assert report["crash_kinds_swept"]
 
 
+REPLICATED_CELLS = [
+    ("nvm", "semi_sync"),
+    ("nvm", "async"),
+    ("log", "semi_sync"),
+    ("log", "async"),
+]
+
+
+@pytest.mark.parametrize(
+    "mode,ack",
+    REPLICATED_CELLS,
+    ids=[f"{m}-{a}" for m, a in REPLICATED_CELLS],
+)
+def test_sweep_replicated_workload(tmp_path, mode, ack):
+    """Kill the primary at persistence boundaries while WAL shipping to
+    a follower; promote the follower and hold it to the ack-mode
+    contract (semi-sync: every acked commit survives; async: the
+    replica equals some commit prefix). The promoted replica then takes
+    a sync-committed write, crashes, and must recover it — the full
+    post-failover lifecycle, fsync-on-open of the shipped tail included.
+    """
+    settings = SweepSettings(
+        workload="replicated",
+        mode=mode,
+        sample=6,
+        seed=11,
+        ack_mode=ack,
+    )
+    report = CrashSweep(str(tmp_path), settings).run()
+    assert report["violations"] == []
+    assert report["points_total"] > 0
+    assert report["ack_mode"] == ack
+    assert report["crash_kinds_swept"]
+
+
+def test_replicated_workload_rejects_unshippable_cells(tmp_path):
+    with pytest.raises(ValueError, match="shards"):
+        CrashSweep(
+            str(tmp_path), SweepSettings(workload="replicated", shards=4)
+        )
+    with pytest.raises(ValueError, match="shippable"):
+        CrashSweep(
+            str(tmp_path), SweepSettings(workload="replicated", mode="none")
+        )
+
+
+def test_replicated_cli_cell(tmp_path, capsys):
+    out = tmp_path / "report.json"
+    rc = main(
+        [
+            "--workload",
+            "replicated",
+            "--sample",
+            "3",
+            "--seed",
+            "5",
+            "--modes",
+            "log,none",  # none must be skipped, not crash
+            "--acks",
+            "semi_sync",
+            "--out",
+            str(out),
+            "--root",
+            str(tmp_path / "scratch"),
+        ]
+    )
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert data["total_violations"] == 0
+    (cell,) = data["configs"]  # the none cell was skipped
+    assert cell["mode"] == "log"
+    assert cell["ack_mode"] == "semi_sync"
+    assert "OK" in capsys.readouterr().out
+
+
 def test_cli_writes_report_and_exits_zero(tmp_path, capsys):
     out = tmp_path / "report.json"
     rc = main(

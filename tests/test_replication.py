@@ -1,0 +1,316 @@
+"""WAL shipping, followers, ack modes, and failover promotion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DurabilityMode, EngineConfig
+from repro.core.database import Database
+from repro.obs import MetricsRegistry, set_registry
+from repro.query.predicate import Eq
+from repro.replication import AckMode, Follower, WalShipper
+from repro.storage.types import DataType
+
+SCHEMA = {"id": DataType.INT64, "v": DataType.STRING}
+
+
+@pytest.fixture
+def registry():
+    previous = set_registry(MetricsRegistry())
+    try:
+        yield
+    finally:
+        set_registry(previous)
+
+
+def _log_db(tmp_path, **overrides) -> Database:
+    defaults = dict(mode=DurabilityMode.LOG, group_commit_size=1)
+    defaults.update(overrides)
+    return Database(str(tmp_path / "primary"), EngineConfig(**defaults))
+
+
+def _rows(db_or_follower) -> dict:
+    result = db_or_follower.query("t")
+    return dict(zip(result.column("id"), result.column("v")))
+
+
+def _replicate(tmp_path, db, ack_mode, followers=1):
+    shipper = WalShipper(db, ack_mode=ack_mode, ack_timeout_s=20.0)
+    replicas = [
+        shipper.add_follower(
+            Follower(str(tmp_path / f"replica{i}"), name=f"r{i}")
+        )
+        for i in range(followers)
+    ]
+    shipper.start()
+    return shipper, replicas
+
+
+class TestAckModes:
+    def test_required_acks_ladder(self):
+        assert AckMode.ASYNC.required_acks(3) == 0
+        assert AckMode.SEMI_SYNC.required_acks(0) == 0
+        assert AckMode.SEMI_SYNC.required_acks(3) == 1
+        assert AckMode.QUORUM.required_acks(1) == 1
+        assert AckMode.QUORUM.required_acks(2) == 2
+        assert AckMode.QUORUM.required_acks(3) == 2
+        assert AckMode.QUORUM.required_acks(5) == 3
+
+    def test_string_coercion(self, tmp_path):
+        db = _log_db(tmp_path)
+        try:
+            shipper = WalShipper(db, ack_mode="semi_sync")
+            assert shipper.ack_mode is AckMode.SEMI_SYNC
+            shipper.stop()
+        finally:
+            db.close()
+
+
+class TestSemiSync:
+    def test_acked_commits_survive_primary_loss(self, tmp_path):
+        """The semi-sync contract: once an autocommit insert returns,
+        the follower already applied it — killing the primary without
+        any catch-up sync must lose nothing acknowledged."""
+        db = _log_db(tmp_path)
+        db.create_table("t", SCHEMA)
+        shipper, (replica,) = _replicate(
+            tmp_path, db, AckMode.SEMI_SYNC
+        )
+        expected = {}
+        for i in range(50):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+            expected[i] = f"v{i}"
+        shipper.stop()  # no sync_followers: acked must already be there
+        db.crash(seed=1)
+        promoted = replica.promote()
+        try:
+            assert _rows(promoted) == expected
+        finally:
+            promoted.close()
+            replica.close()
+
+    def test_update_delete_merge_replicate(self, tmp_path, registry):
+        db = _log_db(tmp_path)
+        db.create_table("t", SCHEMA)
+        shipper, (replica,) = _replicate(
+            tmp_path, db, AckMode.SEMI_SYNC
+        )
+        for i in range(20):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        txn = db.begin()  # update + delete in one commit
+        (ref3,) = txn.query("t", Eq("id", 3)).refs()
+        txn.update("t", ref3, {"v": "patched"})
+        (ref7,) = txn.query("t", Eq("id", 7)).refs()
+        txn.delete("t", ref7)
+        txn.commit()
+        db.merge("t")
+        db.bulk_insert("t", [{"id": 100 + i, "v": f"b{i}"} for i in range(5)])
+        assert shipper.sync_followers(timeout_s=10.0)
+        expected = _rows(db)
+        assert expected[3] == "patched"
+        assert 7 not in expected
+        assert len(expected) == 24
+        assert _rows(replica) == expected
+        shipper.close()
+        db.close()
+
+
+class TestAsync:
+    def test_follower_never_ahead_of_durable_frontier(self, tmp_path):
+        """Async shipping from a WAL primary trails the fsync frontier:
+        with fully asynchronous local commits nothing is durable, so
+        nothing ships — until an explicit sync releases the backlog."""
+        db = _log_db(tmp_path, group_commit_size=0)
+        db.create_table("t", SCHEMA)
+        # DDL syncs, so the follower can bootstrap and see the table.
+        shipper, (replica,) = _replicate(tmp_path, db, AckMode.ASYNC)
+        for i in range(20):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        wal = db._driver.wal
+        assert wal.commits_acked > wal.commits_durable  # the async gap
+        durable_before = wal.durable_lsn
+        assert not replica.wait_for(wal.lsn, timeout_s=0.2)
+        assert replica.applied_lsn <= durable_before
+        wal.sync()
+        assert shipper.sync_followers(timeout_s=10.0)
+        assert _rows(replica) == {i: f"v{i}" for i in range(20)}
+        shipper.close()
+        db.close()
+
+    def test_acked_durable_gap_across_crash_and_recovery(self, tmp_path):
+        """The async contract end to end: acked-but-not-durable commits
+        may die with the primary, and the follower — held behind the
+        durable frontier — agrees byte-for-byte with what the primary
+        itself recovers."""
+        db = _log_db(tmp_path, group_commit_size=0)
+        db.create_table("t", SCHEMA)
+        for i in range(10):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        db._driver.wal.sync()  # first ten rows durable
+        shipper, (replica,) = _replicate(tmp_path, db, AckMode.ASYNC)
+        for i in range(10, 25):
+            db.insert("t", {"id": i, "v": f"v{i}"})  # acked, not durable
+        # Catch up to the durable frontier — the shipper withholds the
+        # acked-but-unsynced suffix from the follower by design.
+        assert replica.wait_for(db._driver.wal.durable_lsn, timeout_s=10.0)
+        shipper.stop()
+        db.crash(seed=2)
+        recovered = Database(
+            str(tmp_path / "primary"),
+            EngineConfig(mode=DurabilityMode.LOG, group_commit_size=0),
+        )
+        survivors = _rows(recovered)
+        assert survivors == {i: f"v{i}" for i in range(10)}  # gap lost
+        promoted = replica.promote()
+        try:
+            assert _rows(promoted) == survivors  # replica agrees
+        finally:
+            promoted.close()
+            replica.close()
+            recovered.close()
+
+
+class TestQuorum:
+    def test_majority_of_two_means_both(self, tmp_path):
+        db = _log_db(tmp_path)
+        db.create_table("t", SCHEMA)
+        shipper, replicas = _replicate(
+            tmp_path, db, AckMode.QUORUM, followers=2
+        )
+        for i in range(15):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        shipper.stop()
+        db.crash(seed=1)
+        expected = {i: f"v{i}" for i in range(15)}
+        # Both followers hold every acked commit — either can take over.
+        for replica in replicas:
+            promoted = replica.promote()
+            try:
+                assert _rows(promoted) == expected
+            finally:
+                promoted.close()
+                replica.close()
+
+
+class TestBootstrap:
+    def test_log_primary_with_checkpoint_resumes_mid_log(self, tmp_path):
+        """A checkpointed primary ships only the post-checkpoint suffix;
+        the follower rebuilds the prefix from the checkpoint copy."""
+        db = _log_db(tmp_path)
+        db.create_table("t", SCHEMA)
+        for i in range(10):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        db.checkpoint()
+        for i in range(10, 14):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        shipper, (replica,) = _replicate(
+            tmp_path, db, AckMode.SEMI_SYNC
+        )
+        assert shipper.start_lsn > 0
+        db.insert("t", {"id": 99, "v": "tail"})
+        assert shipper.sync_followers(timeout_s=10.0)
+        expected = {i: f"v{i}" for i in range(14)}
+        expected[99] = "tail"
+        assert _rows(replica) == expected
+        shipper.close()
+        db.close()
+
+    def test_nvm_primary_ships_through_ship_log(self, tmp_path):
+        """An NVM primary has no WAL: the shipper snapshots the pool
+        into a ship checkpoint and mirrors every later operation —
+        DML, DDL, bulk loads, merges — into a transport log."""
+        db = Database(
+            str(tmp_path / "primary"),
+            EngineConfig(mode=DurabilityMode.NVM),
+        )
+        db.create_table("t", SCHEMA)
+        for i in range(8):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        shipper, (replica,) = _replicate(
+            tmp_path, db, AckMode.SEMI_SYNC
+        )
+        assert shipper.start_lsn == 0
+        db.insert("t", {"id": 8, "v": "v8"})
+        db.create_table("u", SCHEMA)  # post-attach DDL must replicate
+        db.insert("u", {"id": 1, "v": "other"})
+        db.merge("t")
+        db.bulk_insert("t", [{"id": 20 + i, "v": f"b{i}"} for i in range(4)])
+        assert shipper.sync_followers(timeout_s=10.0)
+        assert _rows(replica) == _rows(db)
+        assert replica.query("u").count == 1
+        assert sorted(replica.table_names()) == ["t", "u"]
+        shipper.close()
+        db.close()
+
+    def test_quiescent_attach_enforced(self, tmp_path):
+        db = _log_db(tmp_path)
+        db.create_table("t", SCHEMA)
+        txn = db.begin()
+        txn.insert("t", {"id": 1, "v": "in-flight"})
+        with pytest.raises(RuntimeError, match="quiescent"):
+            WalShipper(db, ack_mode=AckMode.SEMI_SYNC)
+        txn.commit()
+        db.close()
+
+    def test_none_mode_primary_rejected(self, tmp_path):
+        db = Database(
+            str(tmp_path / "primary"),
+            EngineConfig(mode=DurabilityMode.NONE),
+        )
+        with pytest.raises(RuntimeError, match="cannot ship"):
+            WalShipper(db)
+        db.close()
+
+
+class TestPromotion:
+    def test_promoted_replica_is_writable_and_restartable(self, tmp_path):
+        db = _log_db(tmp_path)
+        db.create_table("t", SCHEMA)
+        for i in range(12):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        shipper, (replica,) = _replicate(
+            tmp_path, db, AckMode.SEMI_SYNC
+        )
+        db.insert("t", {"id": 12, "v": "v12"})
+        shipper.stop()
+        db.crash(seed=1)
+        promoted = replica.promote(
+            EngineConfig(mode=DurabilityMode.LOG, group_commit_size=1)
+        )
+        promoted.insert("t", {"id": 1000, "v": "post-failover"})
+        promoted = promoted.restart()
+        try:
+            rows = _rows(promoted)
+            assert rows[1000] == "post-failover"
+            assert len(rows) == 14
+        finally:
+            promoted.close()
+            replica.close()
+
+
+class TestObservability:
+    def test_replication_metrics_emitted(self, tmp_path, registry):
+        from repro.obs import get_registry
+
+        db = _log_db(tmp_path)
+        db.create_table("t", SCHEMA)
+        shipper, (replica,) = _replicate(
+            tmp_path, db, AckMode.SEMI_SYNC
+        )
+        for i in range(10):
+            db.insert("t", {"id": i, "v": f"v{i}"})
+        assert shipper.sync_followers(timeout_s=10.0)
+        reg = get_registry()
+        assert reg.counter("replication_records_shipped_total").value > 0
+        assert reg.counter("follower_applies_total", follower="r0").value > 0
+        assert (
+            reg.counter("follower_commits_applied_total", follower="r0").value
+            >= 10
+        )
+        assert reg.counter("replication_ack_timeouts_total").value == 0
+        assert reg.gauge("replication_lag_bytes").value == 0.0
+        status = shipper.status()
+        assert status["ack_mode"] == "semi_sync"
+        assert status["followers"]["r0"]["lag_bytes"] == 0
+        shipper.close()
+        db.close()
