@@ -1,0 +1,63 @@
+"""E15 — served throughput and client-observed instant restart.
+
+A real server subprocess (``python -m repro.server``) fronts the
+engine; pipelining client threads measure aggregate req/s as
+connections grow, then a loaded tenant's server is SIGKILLed and
+restarted to measure the downtime a reconnecting client actually
+observes — process start, catalog open, and tenant recovery included.
+The acceptance bar from the issue: >= 1000 req/s across >= 8
+connections on the NVM driver, and < 1 s client-observed downtime for
+a 100k-row tenant (scaled down here to keep the suite fast; the full
+sizes run via ``repro.bench.run_all``).
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.server_bench import measure_restart_downtime, measure_throughput
+
+CONNECTIONS = [2, 8]
+REQUESTS_PER_CONN = 300
+RESTART_ROWS = 20_000
+
+
+def test_e15_throughput_scales_with_connections(experiment_report):
+    rows_out = [
+        measure_throughput(n, REQUESTS_PER_CONN) for n in CONNECTIONS
+    ]
+
+    experiment_report(
+        format_table(
+            rows_out,
+            title="E15: aggregate served req/s vs pipelining connections (nvm)",
+        )
+    )
+
+    # Every request either completed OK or was counted; nothing vanished.
+    for row in rows_out:
+        assert row["requests_ok"] + row["requests_failed"] == (
+            row["connections"] * REQUESTS_PER_CONN
+        )
+        assert row["requests_failed"] == 0
+    # The acceptance floor, at the >= 8 connection point.
+    wide = next(r for r in rows_out if r["connections"] >= 8)
+    assert wide["req_per_s"] >= 1000.0
+
+
+def test_e15_restart_downtime_under_budget(experiment_report):
+    row = measure_restart_downtime(RESTART_ROWS, mode="nvm")
+
+    experiment_report(
+        format_table(
+            [row],
+            title="E15: SIGKILL -> first successful response (nvm tenant)",
+        )
+    )
+
+    # Every acked row survived the kill.
+    assert row["recovered_rows"] == RESTART_ROWS
+    # Client-observed downtime stays under the paper's instant-restart
+    # budget: the engine-side recovery is a small slice of a figure
+    # dominated by interpreter start.
+    assert row["downtime_s"] < 1.0
+    assert row["engine_recovery_s"] < row["downtime_s"]

@@ -547,6 +547,21 @@ def run_e14(quick: bool) -> str:
     )
 
 
+def run_e15(quick: bool) -> str:
+    from repro.bench.server_bench import restart_rows, throughput_rows
+
+    connection_counts = [2, 8] if quick else [1, 2, 4, 8, 16]
+    requests_per_conn = 400 if quick else 1500
+    restart_size = 20_000 if quick else 100_000
+    rows_out = throughput_rows(connection_counts, requests_per_conn)
+    rows_out += restart_rows(restart_size)
+    return _finish(
+        "E15",
+        rows_out,
+        "E15: served req/s vs connections; SIGKILL restart downtime at the socket",
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -561,6 +576,7 @@ EXPERIMENTS = {
     "E12": run_e12,
     "E13": run_e13,
     "E14": run_e14,
+    "E15": run_e15,
 }
 
 # Raw rows exported by runners that support --json (keyed by experiment).

@@ -17,9 +17,33 @@ from repro.core.durability import (
 )
 from repro.core.sharding import ShardedEngine, ShardedResult, partition_of
 
+from typing import Optional, Union
+
+Engine = Union[Database, ShardedEngine]
+
+
+def open_engine(path: str, config: Optional[EngineConfig] = None) -> Engine:
+    """Open the engine a directory calls for: sharded or single.
+
+    The uniform entry point tenancy builds on: a tenant namespace is
+    just a directory, and whether it holds one ``Database`` or a
+    ``ShardedEngine`` fan-out is a property of its config. Both returned
+    types share the facade surface the server dispatches against
+    (``create_table`` / ``insert`` / ``insert_many`` / ``query`` /
+    ``table_names`` / ``stats`` / ``metrics_snapshot`` / ``close`` /
+    ``last_recovery``).
+    """
+    config = (config or EngineConfig()).validated()
+    if config.shards > 1:
+        return ShardedEngine(path, config)
+    return Database(path, config)
+
+
 __all__ = [
     "Database",
     "DurabilityDriver",
+    "Engine",
+    "open_engine",
     "DurabilityMode",
     "EngineConfig",
     "LogDriver",

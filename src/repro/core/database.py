@@ -172,6 +172,10 @@ class Database:
         self._tables_by_name: dict[str, Table] = {}
         self._indexes: dict[int, dict[str, TableIndex]] = {}
         self._closed = False
+        # Shutdown may arrive from several directions at once — a signal
+        # handler, a server drain, and an atexit/finaliser path — so the
+        # closed-flag check-and-set must be atomic, not just idempotent.
+        self._close_lock = threading.Lock()
         # Secondary-index maintenance: TableIndex mutation is not
         # thread-safe, so concurrent writers serialise their on_insert
         # calls here. Coarse by design — index upkeep is cheap next to
@@ -595,21 +599,32 @@ class Database:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Orderly shutdown (marks the pool clean / syncs the log)."""
-        if self._closed:
-            return
+        """Orderly shutdown (marks the pool clean / syncs the log).
+
+        Idempotent and thread-safe: a second close — or a concurrent
+        one from a signal-driven shutdown path — is a no-op rather than
+        a double-release of the driver's resources.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._maintenance.stop()
         self._driver.close()
-        self._closed = True
 
     def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
         """Simulate a power failure (unflushed state is lost)."""
-        if self._closed:
-            return
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._maintenance.stop()
         self._driver.crash(survivor_fraction=survivor_fraction, seed=seed)
-        self._closed = True
 
     def restart(self, config: Optional[EngineConfig] = None) -> "Database":
         """Close (cleanly) and reopen; returns the new instance."""

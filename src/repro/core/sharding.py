@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 import zlib
 from concurrent.futures import ThreadPoolExecutor
@@ -171,6 +172,9 @@ class ShardedEngine:
         self.num_shards: int = manifest["shards"]
         self._partition_keys: dict[str, str] = manifest["partition_keys"]
         self._closed = False
+        # See Database._close_lock: shutdown can race between a signal
+        # handler and a server drain; check-and-set must be atomic.
+        self._close_lock = threading.Lock()
         # One worker per shard, times the configured client threads per
         # shard: with writers_per_shard > 1 a single shard's batch work
         # is split across several concurrent writer transactions, all
@@ -484,14 +488,23 @@ class ShardedEngine:
     # Lifecycle
     # ------------------------------------------------------------------
 
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
-        """Orderly shutdown of every shard."""
-        if self._closed:
-            return
+        """Orderly shutdown of every shard.
+
+        Idempotent and thread-safe, like :meth:`Database.close`: safe
+        to call twice or concurrently from a signal-driven shutdown.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._executor.shutdown(wait=True, cancel_futures=True)
         for shard in self.shards:
             shard.close()
-        self._closed = True
 
     def crash(self, survivor_fraction: float = 0.0, seed: Optional[int] = None) -> None:
         """Simulate a power failure hitting every shard at once.
@@ -503,15 +516,16 @@ class ShardedEngine:
         state *after* the simulated power failure, corrupting the very
         crash state recovery is supposed to be tested against.
         """
-        if self._closed:
-            return
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self._executor.shutdown(wait=True, cancel_futures=True)
         for index, shard in enumerate(self.shards):
             shard.crash(
                 survivor_fraction=survivor_fraction,
                 seed=None if seed is None else seed + index,
             )
-        self._closed = True
 
     def restart(self, config: Optional[EngineConfig] = None) -> "ShardedEngine":
         """Close (cleanly) and reopen; returns the new instance."""

@@ -1,0 +1,51 @@
+"""Network front-end: wire protocol, asyncio server, tenants, client.
+
+The serving layer that turns the embedded engine into a system: a
+compact CRC-framed binary protocol (:mod:`repro.server.protocol`), an
+asyncio TCP server dispatching engine work to a worker pool
+(:mod:`repro.server.server`), durable multi-tenant namespaces over the
+engine facades (:mod:`repro.server.tenants`), per-tenant admission
+control (:mod:`repro.server.admission`), and the blocking client the
+tests and benchmarks drive (:mod:`repro.server.client`).
+
+Run one with ``python -m repro.server --path DIR`` (or the installed
+``repro-server`` entry point).
+"""
+
+from repro.server.admission import AdmissionController, TokenBucket
+from repro.server.client import Rejected, ReproClient, ServerError, wait_for_server
+from repro.server.protocol import (
+    Op,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Status,
+)
+from repro.server.server import ReproServer, ServerConfig, ServerThread
+from repro.server.tenants import (
+    InvalidTenantName,
+    NoSuchTenant,
+    TenantCatalog,
+    TenantError,
+    TenantExists,
+)
+
+__all__ = [
+    "AdmissionController",
+    "InvalidTenantName",
+    "NoSuchTenant",
+    "Op",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Rejected",
+    "ReproClient",
+    "ReproServer",
+    "ServerConfig",
+    "ServerError",
+    "ServerThread",
+    "Status",
+    "TenantCatalog",
+    "TenantError",
+    "TenantExists",
+    "TokenBucket",
+    "wait_for_server",
+]

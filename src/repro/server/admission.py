@@ -1,0 +1,139 @@
+"""Admission control: per-tenant token buckets and inflight quotas.
+
+Two independent gates run before a data-plane request reaches the
+worker pool:
+
+* a **token bucket** per tenant (``rate`` requests/second, ``burst``
+  capacity) — sustained overload is rejected with
+  :data:`~repro.server.protocol.Status.RATE_LIMITED` instead of queuing
+  without bound;
+* a **max-inflight quota** per tenant — a tenant may only occupy so
+  many worker slots at once, so one tenant's slow scans cannot starve
+  every other tenant's point reads
+  (:data:`~repro.server.protocol.Status.TOO_MANY_INFLIGHT`).
+
+Decisions are O(1) and run on the event loop thread; both gates ride
+on the existing :mod:`repro.obs` registry (``server_rejected_total``
+by reason, ``server_inflight`` by tenant), so rejections are visible
+in ``metrics_snapshot()`` and the Prometheus export like any other
+engine signal.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+from repro.obs import get_registry
+
+#: ``admit`` rejection reasons (stable metric label values).
+REASON_RATE = "rate_limited"
+REASON_INFLIGHT = "too_many_inflight"
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s refill, ``burst`` cap."""
+
+    def __init__(self, rate: float, burst: float):
+        if rate <= 0:
+            raise ValueError("rate must be > 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = time.monotonic()
+        self._lock = threading.Lock()
+
+    def try_take(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        with self._lock:
+            now = time.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+
+class AdmissionController:
+    """Per-tenant admission decisions for the data plane.
+
+    ``rate``/``burst`` default to None (no rate limiting);
+    ``max_inflight`` bounds concurrently executing requests per tenant
+    (None = unbounded). One controller serves every tenant — buckets
+    and inflight counts are created lazily per tenant name.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+    ):
+        if rate is None and burst is not None:
+            raise ValueError("burst without rate makes no sense")
+        self.rate = rate
+        self.burst = burst if burst is not None else (rate if rate else None)
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight: dict[str, int] = {}
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if self.rate is None:
+            return None
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            with self._lock:
+                bucket = self._buckets.setdefault(
+                    tenant, TokenBucket(self.rate, self.burst)
+                )
+        return bucket
+
+    def admit(self, tenant: str) -> Optional[str]:
+        """Try to admit one request; returns a rejection reason or None.
+
+        On admission the tenant's inflight count is already
+        incremented — the caller *must* pair every successful ``admit``
+        with exactly one :meth:`release`.
+        """
+        registry = get_registry()
+        bucket = self._bucket(tenant)
+        if bucket is not None and not bucket.try_take():
+            registry.counter("server_rejected_total", reason=REASON_RATE).inc()
+            return REASON_RATE
+        with self._lock:
+            inflight = self._inflight.get(tenant, 0)
+            if self.max_inflight is not None and inflight >= self.max_inflight:
+                reject = True
+            else:
+                self._inflight[tenant] = inflight + 1
+                reject = False
+        if reject:
+            registry.counter(
+                "server_rejected_total", reason=REASON_INFLIGHT
+            ).inc()
+            return REASON_INFLIGHT
+        registry.gauge("server_inflight", tenant=tenant).add(1)
+        return None
+
+    def release(self, tenant: str) -> None:
+        with self._lock:
+            count = self._inflight.get(tenant, 0)
+            if count <= 1:
+                self._inflight.pop(tenant, None)
+            else:
+                self._inflight[tenant] = count - 1
+        get_registry().gauge("server_inflight", tenant=tenant).add(-1)
+
+    def inflight(self, tenant: str) -> int:
+        with self._lock:
+            return self._inflight.get(tenant, 0)
