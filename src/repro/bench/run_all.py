@@ -562,6 +562,29 @@ def run_e15(quick: bool) -> str:
     )
 
 
+def run_e16(quick: bool) -> str:
+    from repro.bench.recovery_scaling import (
+        incremental_checkpoint_rows,
+        replay_scaling_rows,
+    )
+
+    record_counts = [20_000] if quick else [100_000, 500_000]
+    workers = [1, 2, 4] if quick else [1, 2, 4, 8]
+    base = tempfile.mkdtemp(prefix="e16-")
+    try:
+        rows_out = replay_scaling_rows(record_counts, workers, base)
+        rows_out += incremental_checkpoint_rows(
+            10, 1_000 if quick else 5_000, base
+        )
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+    return _finish(
+        "E16",
+        rows_out,
+        "E16: restart vs log length x replay workers; incremental checkpoint cost",
+    )
+
+
 EXPERIMENTS = {
     "E1": run_e1,
     "E2": run_e2,
@@ -577,6 +600,7 @@ EXPERIMENTS = {
     "E13": run_e13,
     "E14": run_e14,
     "E15": run_e15,
+    "E16": run_e16,
 }
 
 # Raw rows exported by runners that support --json (keyed by experiment).

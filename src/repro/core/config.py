@@ -96,6 +96,25 @@ class EngineConfig:
     merge_cutover_timeout_s: float = 5.0
     #: Poll interval of the background maintenance daemon.
     maintenance_interval_s: float = 0.05
+    #: Worker threads for LOG-mode recovery. ``1`` keeps the serial
+    #: replay loop (the replication follower's apply path, unchanged);
+    #: ``> 1`` partitions the log into per-table apply queues serviced
+    #: by this many workers, with a parallel index rebuild afterwards.
+    replay_workers: int = 1
+    #: LOG mode: write chained incremental checkpoints (only tables
+    #: mutated since the previous checkpoint) instead of monolithic full
+    #: snapshots. Restore composes the chain; a legacy full
+    #: ``checkpoint.ckpt`` is still honoured when no chain exists.
+    incremental_checkpoints: bool = True
+    #: Trigger a background checkpoint once this many log bytes have
+    #: accumulated since the last one (LOG mode; enables the
+    #: maintenance daemon). None disables the byte trigger.
+    checkpoint_log_bytes: Optional[int] = None
+    #: Trigger a background checkpoint once the *estimated* replay time
+    #: of the accumulated log tail (from the engine's own
+    #: ``recovery_replay_bytes_per_second`` telemetry) exceeds this many
+    #: seconds. None disables the estimate trigger.
+    checkpoint_max_replay_s: Optional[float] = None
 
     def validated(self) -> "EngineConfig":
         if self.shards < 1:
@@ -124,4 +143,13 @@ class EngineConfig:
             raise ValueError("merge_cutover_timeout_s must be > 0")
         if self.maintenance_interval_s <= 0:
             raise ValueError("maintenance_interval_s must be > 0")
+        if self.replay_workers < 1:
+            raise ValueError("replay_workers must be >= 1")
+        if self.checkpoint_log_bytes is not None and self.checkpoint_log_bytes < 1:
+            raise ValueError("checkpoint_log_bytes must be >= 1")
+        if (
+            self.checkpoint_max_replay_s is not None
+            and self.checkpoint_max_replay_s <= 0
+        ):
+            raise ValueError("checkpoint_max_replay_s must be > 0")
         return self

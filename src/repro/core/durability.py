@@ -43,7 +43,13 @@ from repro.txn.manager import (
     VolatileTidAllocator,
 )
 from repro.txn.txn_table import VolatileTxnTable
-from repro.wal.checkpoint import CheckpointData, snapshot_table, write_checkpoint
+from repro.wal.checkpoint import (
+    CheckpointChain,
+    CheckpointData,
+    chain_dir,
+    snapshot_table,
+    write_checkpoint,
+)
 from repro.wal.writer import LogWriter
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -353,6 +359,14 @@ class LogDriver(VolatileDriver):
     def __init__(self, path: str, config: EngineConfig):
         super().__init__(path, config)
         self._wal: Optional[LogWriter] = None
+        # Incremental-checkpoint state: the chain directory, the live
+        # table_id -> segment-sequence mapping of the current manifest,
+        # and the change token each mapped table had when its segment
+        # was written (token unchanged => table clean, skip rewriting).
+        self._chain = CheckpointChain(chain_dir(self.checkpoint_path))
+        self._segment_map: dict[int, int] = {}
+        self._clean_tokens: dict[int, tuple] = {}
+        self._last_checkpoint_lsn = 0
 
     @property
     def log_path(self) -> str:
@@ -376,12 +390,17 @@ class LogDriver(VolatileDriver):
         report = RecoveryReport(mode="log")
         with report.span:
             self.backend = db.backend = VolatileBackend()
-            tables, last_cid, next_table_id, end_lsn, _ = recover_log(
-                self.checkpoint_path, self.log_path, self.backend, report=report
+            result = recover_log(
+                self.checkpoint_path,
+                self.log_path,
+                self.backend,
+                report=report,
+                workers=self.config.replay_workers,
             )
-            for table in tables.values():
+            for table in result.tables.values():
                 db._register(table, {})
-            self._next_table_id = next_table_id
+            self._next_table_id = result.next_table_id
+            self._seed_checkpoint_state(result)
             with report.phase("log_reopen"):
                 # A real power failure can leave garbage (or a
                 # half-written record) past the last valid frame. Drop
@@ -389,7 +408,7 @@ class LogDriver(VolatileDriver):
                 # records appended after garbage would be unreachable to
                 # every future replay, silently losing the transactions
                 # they describe.
-                self._drop_torn_tail(end_lsn)
+                self._drop_torn_tail(result.end_lsn)
                 self._wal = LogWriter(
                     self.log_path,
                     self.config.group_commit_size,
@@ -397,14 +416,37 @@ class LogDriver(VolatileDriver):
                 )
                 db._manager = self._volatile_manager(
                     db,
-                    last_cid=last_cid,
-                    first_tid=self._max_logged_tid() + 1,
+                    last_cid=result.last_cid,
+                    first_tid=result.max_tid + 1,
                     wal=self._wal,
                 )
             with report.phase("index_rebuild"):
                 self._rebuild_declared_indexes(db)
             report.tables = len(db._tables_by_id)
         return report
+
+    def _seed_checkpoint_state(self, result) -> None:
+        """Prime incremental-checkpoint dirty tracking after recovery.
+
+        A table whose snapshot came from the chain and that no replayed
+        record touched is byte-identical to its segment, so it starts
+        *clean* (current change token recorded against its segment).
+        Tables the replay touched — or that only exist in the log tail —
+        are unmapped and will be rewritten by the next checkpoint.
+        """
+        self._last_checkpoint_lsn = result.checkpoint_lsn
+        self._segment_map = {}
+        self._clean_tokens = {}
+        state = self._chain.state()
+        if state is None:
+            return
+        touched = result.touched_table_ids
+        for table_id, seg_seq in state.mapping.items():
+            table = result.tables.get(table_id)
+            if table is None or table_id in touched:
+                continue
+            self._segment_map[table_id] = seg_seq
+            self._clean_tokens[table_id] = table.change_token()
 
     def _drop_torn_tail(self, end_lsn: int) -> None:
         """Truncate the log just past its last valid record."""
@@ -421,31 +463,45 @@ class LogDriver(VolatileDriver):
                 f.flush()
                 os.fsync(f.fileno())
 
-    def _max_logged_tid(self) -> int:
-        """New tids must not collide with tids of transactions that are
-        still parsable in the log tail."""
-        from repro.wal.checkpoint import read_checkpoint
-        from repro.wal.reader import read_log
-
-        start = 0
-        if os.path.exists(self.checkpoint_path):
-            start = read_checkpoint(self.checkpoint_path).lsn
-        max_tid = 0
-        for record, _ in read_log(self.log_path, start):
-            max_tid = max(max_tid, getattr(record, "tid", 0))
-        return max_tid
-
     def _rebuild_declared_indexes(self, db: "Database") -> None:
-        """Recreate the (volatile) indexes declared in meta.json."""
+        """Recreate the (volatile) indexes declared in meta.json.
+
+        With ``replay_workers > 1`` the index builds — independent
+        read-only scans of distinct (table, column) pairs — run on a
+        thread pool; registration into the engine's index registry stays
+        on this thread (plain dict mutation).
+        """
         if not os.path.exists(self.meta_path):
             return
         with open(self.meta_path) as f:
             meta = json.load(f)
-        for table_name, columns in meta.get("indexes", {}).items():
-            if table_name not in db._tables_by_name:
-                continue
-            for column in columns:
-                db._build_index(db.table(table_name), column, False)
+        wanted = [
+            (db.table(table_name), column)
+            for table_name, columns in meta.get("indexes", {}).items()
+            if table_name in db._tables_by_name
+            for column in columns
+        ]
+        workers = self.config.replay_workers
+        if workers > 1 and len(wanted) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            from repro.index.table_index import TableIndex
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                built = list(
+                    pool.map(
+                        lambda item: TableIndex.build(
+                            self.backend, item[0], item[1],
+                            persistent_delta=False,
+                        ),
+                        wanted,
+                    )
+                )
+            for (table, column), index in zip(wanted, built):
+                db._indexes[table.table_id][column] = index
+        else:
+            for table, column in wanted:
+                db._build_index(table, column, False)
 
     def _save_meta(self) -> None:
         db = self._db
@@ -510,20 +566,70 @@ class LogDriver(VolatileDriver):
         lsn = self._wal.append_commit(tid, cid)
         self._wal.commit_barrier(lsn)
 
+    @property
+    def log_bytes_since_checkpoint(self) -> int:
+        """WAL bytes a restart right now would have to replay."""
+        if self._wal is None:
+            return 0
+        return max(0, self._wal.lsn - self._last_checkpoint_lsn)
+
     def checkpoint(self) -> int:
+        """Write a checkpoint; returns bytes written.
+
+        With ``config.incremental_checkpoints`` (the default) this
+        publishes one link of the chain: only tables whose change token
+        moved since their last segment are re-snapshotted; clean tables
+        carry their existing segment references forward through the new
+        manifest. Otherwise the legacy monolithic snapshot is written.
+        """
         db = self._db
         if db._manager.active_count:
             raise RuntimeError("cannot checkpoint with active transactions")
         t0 = time.perf_counter()
         self._wal.sync()
-        data = CheckpointData(
-            last_cid=db._manager.last_cid,
-            lsn=self._wal.lsn,
-            next_table_id=self._next_table_id,
-            tables=[snapshot_table(t) for t in db._tables_by_id.values()],
-        )
-        written = write_checkpoint(data, self.checkpoint_path)
+        lsn = self._wal.lsn
+        last_cid = db._manager.last_cid
         registry = get_registry()
+        if self.config.incremental_checkpoints:
+            live = db._tables_by_id
+            dirty = [
+                table
+                for table_id, table in live.items()
+                if table_id not in self._segment_map
+                or self._clean_tokens.get(table_id) != table.change_token()
+            ]
+            dirty_ids = {t.table_id for t in dirty}
+            carry = {
+                table_id: seg
+                for table_id, seg in self._segment_map.items()
+                if table_id in live and table_id not in dirty_ids
+            }
+            state, written = self._chain.publish(
+                [snapshot_table(t) for t in dirty],
+                carry,
+                last_cid,
+                lsn,
+                self._next_table_id,
+            )
+            self._segment_map = state.mapping
+            for table in dirty:
+                self._clean_tokens[table.table_id] = table.change_token()
+            for table_id in list(self._clean_tokens):
+                if table_id not in state.mapping:
+                    del self._clean_tokens[table_id]
+            registry.counter("engine_checkpoint_tables_total").inc(len(dirty))
+        else:
+            data = CheckpointData(
+                last_cid=last_cid,
+                lsn=lsn,
+                next_table_id=self._next_table_id,
+                tables=[snapshot_table(t) for t in db._tables_by_id.values()],
+            )
+            written = write_checkpoint(data, self.checkpoint_path)
+            registry.counter("engine_checkpoint_tables_total").inc(
+                len(data.tables)
+            )
+        self._last_checkpoint_lsn = lsn
         registry.counter("engine_checkpoints_total").inc()
         registry.counter("engine_checkpoint_bytes_total").inc(written)
         registry.histogram("engine_checkpoint_seconds").observe(
@@ -560,7 +666,12 @@ class LogDriver(VolatileDriver):
                 "ack_durability_gap": (
                     self._wal.commits_acked - self._wal.commits_durable
                 ),
-            }
+            },
+            "checkpoint": {
+                "last_lsn": self._last_checkpoint_lsn,
+                "log_bytes_since": self.log_bytes_since_checkpoint,
+                "chained_tables": len(self._segment_map),
+            },
         }
 
 

@@ -41,6 +41,11 @@ KINDS = (
     # durability mode (the fold runs the same everywhere).
     "merge_chunk",
     "merge_cutover",
+    # Incremental-checkpoint manifest publish: segments are durable
+    # (each passed a checkpoint_fsync) but the manifest that makes them
+    # the current restore chain has not yet been fsync'd/renamed. A
+    # crash here must fall back to the previous complete chain.
+    "manifest_publish",
 )
 
 EVENTS_TOTAL = "persistence_events_total"

@@ -13,10 +13,11 @@ The two recovery paths embody the paper's comparison:
 
 from repro.recovery.report import RecoveryReport, ShardedRecoveryReport
 from repro.recovery.nvm_recovery import recover_nvm
-from repro.recovery.log_recovery import recover_log
+from repro.recovery.log_recovery import LogRecoveryResult, recover_log
 from repro.recovery.validator import validate_database
 
 __all__ = [
+    "LogRecoveryResult",
     "RecoveryReport",
     "ShardedRecoveryReport",
     "recover_log",

@@ -2,11 +2,16 @@
 
 Three O(data) phases, timed separately for experiment E2:
 
-1. **checkpoint_load** — deserialise the last snapshot into fresh DRAM
-   structures;
+1. **checkpoint_load** — deserialise the last snapshot (a monolithic
+   ``checkpoint.ckpt`` or an incremental checkpoint chain) into fresh
+   DRAM structures;
 2. **log_replay** — re-execute the log tail. Operation records appear in
    the log in original operation order, so replay reproduces physical
-   row placement exactly (rowrefs in later records stay valid);
+   row placement exactly (rowrefs in later records stay valid). With
+   ``workers > 1`` this phase splits into **log_partition** (one reader
+   routes records into per-table queues) and **parallel_apply** (a
+   worker pool drains the queues — see
+   :mod:`repro.recovery.parallel_replay` for the ordering argument);
 3. **index_rebuild** — performed by the engine afterwards (group-key and
    delta indexes are volatile here).
 
@@ -14,16 +19,20 @@ The per-record replay logic lives in :class:`LogReplayer` so it can be
 driven by two callers with very different lifetimes: :func:`recover_log`
 runs it over a finite log once at restart, and a replication follower's
 apply loop (``repro.replication.follower``) feeds it records one at a
-time, forever, as they arrive off the wire.
+time, forever, as they arrive off the wire — followers always use this
+serial path.
 """
 
 from __future__ import annotations
 
-import os
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+from repro.recovery.parallel_replay import apply_partition, partition_log
 from repro.recovery.report import RecoveryReport
 from repro.storage.backend import VolatileBackend
 from repro.storage.table import Table
@@ -34,7 +43,7 @@ from repro.txn.txn_table import (
     OP_INVALIDATE,
     pack_range_ref,
 )
-from repro.wal.checkpoint import read_checkpoint, restore_table
+from repro.wal.checkpoint import load_latest, restore_table
 from repro.wal.reader import read_log
 from repro.wal.records import (
     AbortRecord,
@@ -81,6 +90,11 @@ class LogReplayer:
         self.max_tid = 0
         self.report = report
         self.commits_applied = 0
+        # Table ids mutated by replayed records — the incremental
+        # checkpointer must treat these as dirty relative to the loaded
+        # snapshot. Commit/abort records only touch tables whose ops are
+        # already tracked here (recorded at insert/invalidate time).
+        self.touched: set[int] = set()
         # Hook for a follower's ack path: called with the cid after each
         # commit record's operations become visible.
         self.on_commit = on_commit
@@ -100,6 +114,7 @@ class LogReplayer:
             tables[record.table_id] = table
             self.names[record.name] = table
             self.next_table_id = max(self.next_table_id, record.table_id + 1)
+            self.touched.add(record.table_id)
         elif isinstance(record, InsertRecord):
             table = tables[record.table_id]
             ref = table.insert_uncommitted(list(record.values), record.tid)
@@ -107,6 +122,7 @@ class LogReplayer:
                 (OP_INSERT, record.table_id, ref)
             )
             self.max_tid = max(self.max_tid, record.tid)
+            self.touched.add(record.table_id)
         elif isinstance(record, InsertManyRecord):
             table = tables[record.table_id]
             first = table.delta.row_count
@@ -122,11 +138,13 @@ class LogReplayer:
                 )
             )
             self.max_tid = max(self.max_tid, record.tid)
+            self.touched.add(record.table_id)
         elif isinstance(record, InvalidateRecord):
             self.in_flight.setdefault(record.tid, []).append(
                 (OP_INVALIDATE, record.table_id, record.ref)
             )
             self.max_tid = max(self.max_tid, record.tid)
+            self.touched.add(record.table_id)
         elif isinstance(record, CommitRecord):
             ops = self.in_flight.pop(record.tid, [])
             apply_operations(tables.__getitem__, ops, record.cid)
@@ -158,10 +176,12 @@ class LogReplayer:
             )
             if self.report is not None:
                 self.report.merges_replayed += 1
+            self.touched.add(record.table_id)
         elif isinstance(record, DropTableRecord):
             dropped = tables.pop(record.table_id, None)
             if dropped is not None:
                 self.names.pop(dropped.name, None)
+            self.touched.add(record.table_id)
 
     def rollback_in_flight(self) -> int:
         """Roll back transactions whose commit/abort never arrived.
@@ -180,18 +200,58 @@ class LogReplayer:
         return count
 
 
+@dataclass
+class LogRecoveryResult:
+    """Everything a driver needs after a checkpoint+log recovery."""
+
+    tables: dict[int, Table]
+    last_cid: int
+    next_table_id: int
+    end_lsn: int
+    #: Highest transaction id seen in the replayed log tail — the driver
+    #: hands out ``max_tid + 1`` next, without re-scanning the log.
+    max_tid: int
+    #: LSN recorded by the loaded checkpoint (0 without one) — where
+    #: replay started, i.e. the log tail already covered durably.
+    checkpoint_lsn: int = 0
+    #: Table ids mutated by replayed records (relative to the loaded
+    #: checkpoint) — seeds the incremental checkpointer's dirty state.
+    touched_table_ids: set = field(default_factory=set)
+    report: RecoveryReport = field(
+        default_factory=lambda: RecoveryReport(mode="log")
+    )
+
+
+#: Throughput buckets for the replay-rate histogram (bytes/second,
+#: decades from 100 KiB/s to ~100 GiB/s).
+_REPLAY_RATE_BUCKETS = tuple(10.0**e for e in range(5, 12))
+
+
 def recover_log(
     checkpoint_path: str,
     log_path: str,
     backend: VolatileBackend,
     report: Optional[RecoveryReport] = None,
-) -> tuple[dict[int, Table], int, int, int, RecoveryReport]:
+    workers: int = 1,
+) -> LogRecoveryResult:
     """Rebuild database state from checkpoint + log.
 
-    Returns (tables by id, last_cid, next_table_id, end_lsn, report).
-    Pass ``report`` to record the phases under an enclosing recovery's
-    span tree (the driver does); otherwise a standalone report is
-    created.
+    ``checkpoint_path`` names the legacy monolithic snapshot; a sibling
+    ``checkpoints/`` chain directory, when present, takes precedence
+    (see :func:`repro.wal.checkpoint.load_latest`).
+
+    ``workers`` selects the replay strategy: 1 replays serially through
+    :class:`LogReplayer` (phase ``log_replay``); more than 1 partitions
+    the log into per-table queues drained by a thread pool (phases
+    ``log_partition`` + ``parallel_apply``) — final state is
+    element-equal either way. Pass ``report`` to record the phases under
+    an enclosing recovery's span tree (the driver does); otherwise a
+    standalone report is created.
+
+    The observed replay rate (log bytes per wall second) feeds the
+    ``recovery_replay_bytes_per_second`` histogram, which the
+    maintenance daemon uses to estimate restart cost from pending log
+    bytes when scheduling checkpoints.
     """
     if report is None:
         report = RecoveryReport(mode="log")
@@ -201,33 +261,69 @@ def recover_log(
     start_lsn = 0
 
     with report.phase("checkpoint_load"):
-        if os.path.exists(checkpoint_path):
-            data = read_checkpoint(checkpoint_path)
-            report.checkpoint_bytes = os.path.getsize(checkpoint_path)
+        data, checkpoint_bytes = load_latest(checkpoint_path)
+        if data is not None:
+            report.checkpoint_bytes = checkpoint_bytes
             last_cid = data.last_cid
             next_table_id = data.next_table_id
             start_lsn = data.lsn
             for snapshot in data.tables:
                 tables[snapshot.table_id] = restore_table(snapshot, backend)
 
-    end_lsn = start_lsn
-    with report.phase("log_replay"):
-        replayer = LogReplayer(
-            backend,
-            tables=tables,
-            last_cid=last_cid,
-            next_table_id=next_table_id,
-            report=report,
-        )
-        for record, lsn in read_log(log_path, start_lsn):
-            end_lsn = lsn
-            replayer.apply(record)
-        # Transactions with no commit/abort record lost the race with the
-        # crash: roll them back.
-        replayer.rollback_in_flight()
-        last_cid = replayer.last_cid
-        next_table_id = replayer.next_table_id
+    replay_started = time.perf_counter()
+    if workers > 1:
+        with report.phase("log_partition", workers=workers):
+            partition = partition_log(
+                log_path, start_lsn, tables, backend, last_cid, next_table_id
+            )
+        with report.phase("parallel_apply", workers=workers):
+            report.merges_replayed += apply_partition(
+                partition, tables, backend, workers
+            )
+        report.log_records_replayed += partition.records
+        report.txns_rolled_back += partition.txns_rolled_back
+        end_lsn = partition.end_lsn
+        last_cid = partition.last_cid
+        next_table_id = partition.next_table_id
+        max_tid = partition.max_tid
+        touched = partition.touched_table_ids
+    else:
+        end_lsn = start_lsn
+        with report.phase("log_replay"):
+            replayer = LogReplayer(
+                backend,
+                tables=tables,
+                last_cid=last_cid,
+                next_table_id=next_table_id,
+                report=report,
+            )
+            for record, lsn in read_log(log_path, start_lsn):
+                end_lsn = lsn
+                replayer.apply(record)
+            # Transactions with no commit/abort record lost the race with
+            # the crash: roll them back.
+            replayer.rollback_in_flight()
+            last_cid = replayer.last_cid
+            next_table_id = replayer.next_table_id
+        max_tid = replayer.max_tid
+        touched = replayer.touched
+
+    replay_seconds = time.perf_counter() - replay_started
+    replayed_bytes = end_lsn - start_lsn
+    if replayed_bytes > 0 and replay_seconds > 0:
+        get_registry().histogram(
+            "recovery_replay_bytes_per_second", buckets=_REPLAY_RATE_BUCKETS
+        ).observe(replayed_bytes / replay_seconds)
 
     report.tables = len(tables)
     report.rows_recovered = sum(t.row_count for t in tables.values())
-    return tables, last_cid, next_table_id, end_lsn, report
+    return LogRecoveryResult(
+        tables=tables,
+        last_cid=last_cid,
+        next_table_id=next_table_id,
+        end_lsn=end_lsn,
+        max_tid=max_tid,
+        checkpoint_lsn=start_lsn,
+        touched_table_ids=touched,
+        report=report,
+    )

@@ -47,6 +47,7 @@ from repro.obs import generation, get_registry
 from repro.replication.follower import Follower
 from repro.wal.checkpoint import (
     CheckpointData,
+    load_latest,
     read_checkpoint,
     snapshot_table,
     write_checkpoint,
@@ -94,19 +95,24 @@ class WalShipper:
         if isinstance(driver, LogDriver):
             self._wal: LogWriter = driver.wal
             self._log_path = driver.log_path
-            self._ckpt_path: Optional[str] = (
-                driver.checkpoint_path
-                if os.path.exists(driver.checkpoint_path)
-                else None
-            )
-            # Followers bootstrap from the checkpoint and consume the
-            # log from its recorded LSN — or the whole log from byte 0
-            # when the primary has never checkpointed.
-            self.start_lsn = (
-                read_checkpoint(self._ckpt_path).lsn
-                if self._ckpt_path is not None
-                else 0
-            )
+            # Followers bootstrap from a checkpoint copy and consume
+            # the log from its recorded LSN — or the whole log from
+            # byte 0 when the primary has never checkpointed. The wire
+            # protocol ships exactly one snapshot file, so an
+            # incremental checkpoint chain is flattened into a
+            # monolithic bootstrap copy beside the legacy path.
+            data, _ = load_latest(driver.checkpoint_path)
+            self._ckpt_path: Optional[str]
+            if data is None:
+                self._ckpt_path = None
+                self.start_lsn = 0
+            elif os.path.exists(driver.checkpoint_path):
+                self._ckpt_path = driver.checkpoint_path
+                self.start_lsn = read_checkpoint(self._ckpt_path).lsn
+            else:
+                self._ckpt_path = driver.checkpoint_path + ".ship"
+                write_checkpoint(data, self._ckpt_path)
+                self.start_lsn = data.lsn
             self._nvm = False
         elif isinstance(driver, NvmDriver):
             self._ckpt_path = self._write_ship_checkpoint(driver)

@@ -153,7 +153,10 @@ class DeltaPartition:
         return encoded
 
     def insert_rows_encoded(
-        self, encoded_columns: Sequence[np.ndarray], tid: int
+        self,
+        encoded_columns: Sequence[np.ndarray],
+        tid: int,
+        tids: Optional[np.ndarray] = None,
     ) -> int:
         """Insert a pre-encoded batch as uncommitted; returns first index.
 
@@ -162,11 +165,18 @@ class DeltaPartition:
         extend each, overwriting any crash-torn tails), and the begin
         vector extend publishes every row of the batch atomically last.
         A crash before that final publish loses the entire batch.
+
+        ``tids`` optionally carries one owning transaction per row (the
+        parallel-replay coalescer batches consecutive single-row inserts
+        from *different* transactions into one vectorised insert);
+        otherwise every row belongs to ``tid``.
         """
         counts = {len(col) for col in encoded_columns}
         if len(counts) != 1:
             raise ValueError("ragged batch insert")
         (n,) = counts
+        if tids is not None and len(tids) != n:
+            raise ValueError("per-row tids disagree with row count")
         first = self.row_count
         for vector, codes in zip(self.code_vectors, encoded_columns):
             _extend_or_overwrite(
@@ -176,7 +186,11 @@ class DeltaPartition:
             self.mvcc.end, first, np.full(n, INFINITY_CID, dtype=np.uint64)
         )
         _extend_or_overwrite(
-            self.mvcc.tid, first, np.full(n, tid, dtype=np.uint64)
+            self.mvcc.tid,
+            first,
+            np.full(n, tid, dtype=np.uint64)
+            if tids is None
+            else np.asarray(tids, dtype=np.uint64),
         )
         # Publish point: the batch becomes real in one extend.
         self.mvcc.begin.extend(np.full(n, INFINITY_CID, dtype=np.uint64))

@@ -94,6 +94,14 @@ class MvccColumns:
     def __len__(self) -> int:
         return len(self.begin)
 
+    @property
+    def mutations(self) -> int:
+        """In-place begin/end store count (the visibility-cache stamp's
+        mutation component). Together with the row count this changes on
+        every MVCC state transition, which makes ``(mutations, rows)``
+        a cheap dirty token for incremental checkpoints."""
+        return self._mutations
+
     def append_uncommitted(self, tid: int) -> int:
         """Add MVCC state for a freshly inserted (uncommitted) row."""
         self.begin.append(INFINITY_CID)

@@ -232,6 +232,25 @@ class Table:
         index = self.delta.insert_row(values, tid)
         return pack_rowref(True, index)
 
+    def change_token(self) -> tuple:
+        """Cheap fingerprint of this table's physical state.
+
+        Two equal tokens mean the table's checkpoint-relevant state is
+        unchanged: the generation counter catches merge cutovers, the
+        row counts catch every publish (including crash-torn garbage
+        rows, whose placement a snapshot must preserve), and the MVCC
+        mutation counters catch in-place commit/abort fix-ups. Used by
+        incremental checkpoints to skip clean tables.
+        """
+        main, delta = self._content
+        return (
+            self.generation,
+            main.row_count,
+            main.mvcc.mutations,
+            delta.row_count,
+            delta.mvcc.mutations,
+        )
+
     def stats(self) -> dict:
         """Size and compression statistics (for reports)."""
         return {

@@ -5,13 +5,32 @@ only the log tail past the recorded LSN. The file layout preserves the
 *physical* row placement (including uncommitted garbage rows), because
 rowrefs in post-checkpoint log records address that placement.
 
-Format (little endian)::
+Monolithic format (little endian)::
 
     u64 magic | u64 last_cid | u64 lsn | u64 next_table_id
     u64 table_count | u32 body_crc
     table*: see ``_write_table``
 
 Written atomically via a temp file + rename.
+
+**Incremental chains** (:class:`CheckpointChain`) spread the same table
+codec across many files in a ``checkpoints/`` directory so a checkpoint
+rewrites only the tables that changed:
+
+* ``seg-%08d.ckpt`` — a *segment* holding the snapshots of the tables
+  dirty at one checkpoint (same ``_write_table`` body, own header+CRC);
+* ``manifest-%08d.ckpt`` — the chain head: last_cid/lsn/next_table_id
+  plus ``(table_id, segment_seq)`` for every live table. The manifest
+  lists exactly the current tables — a table absent from it is dropped,
+  no tombstones needed — so restore reads the newest manifest and
+  composes the referenced segments.
+
+Publish order makes the chain crash-atomic: segments are written and
+fsync'd first (an unreferenced segment is harmless garbage), then the
+manifest is fsync'd and renamed into place — the rename is the commit
+point. Old manifests and unreferenced segments are garbage-collected
+only after a successful publish, keeping one previous manifest as a
+fallback against a torn chain head.
 """
 
 from __future__ import annotations
@@ -21,6 +40,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -309,3 +329,310 @@ def read_checkpoint(path: str) -> CheckpointData:
         snap, pos = _read_table(body, pos)
         data.tables.append(snap)
     return data
+
+
+# ----------------------------------------------------------------------
+# Incremental checkpoint chains
+# ----------------------------------------------------------------------
+
+_SEG_MAGIC = 0x48595243_4B534547  # "HYRCKSEG"
+_MAN_MAGIC = 0x48595243_4B4D414E  # "HYRCKMAN"
+
+_SEG_HEADER = struct.Struct("<QQI")  # magic | table_count | body_crc
+_MAN_HEADER = struct.Struct("<QQQQQI")  # magic|cid|lsn|next_id|entries|crc
+_MAN_ENTRY = struct.Struct("<QQ")  # table_id | segment_seq
+
+CHAIN_DIRNAME = "checkpoints"
+
+
+def chain_dir(checkpoint_path: str) -> str:
+    """Chain directory for a legacy checkpoint path (its sibling)."""
+    return os.path.join(os.path.dirname(checkpoint_path), CHAIN_DIRNAME)
+
+
+def _seg_name(seq: int) -> str:
+    return f"seg-{seq:08d}.ckpt"
+
+
+def _manifest_name(seq: int) -> str:
+    return f"manifest-{seq:08d}.ckpt"
+
+
+def _parse_seq(filename: str, prefix: str) -> Optional[int]:
+    if not (filename.startswith(prefix) and filename.endswith(".ckpt")):
+        return None
+    digits = filename[len(prefix) : -len(".ckpt")]
+    return int(digits) if digits.isdigit() else None
+
+
+def write_segment(path: str, snapshots: list[TableSnapshot]) -> int:
+    """Write one segment atomically; returns bytes written.
+
+    A segment becomes load-bearing only once a manifest references it,
+    but it still publishes through the ``checkpoint_fsync`` boundary —
+    a crash during the fsync leaves at most an orphan ``.tmp``/segment
+    file the next GC removes.
+    """
+    body = io.BytesIO()
+    for snap in snapshots:
+        _write_table(body, snap)
+    body_bytes = body.getvalue()
+    header = _SEG_HEADER.pack(_SEG_MAGIC, len(snapshots), zlib.crc32(body_bytes))
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(header)
+        f.write(body_bytes)
+        f.flush()
+        persistence_event("checkpoint_fsync")
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return len(header) + len(body_bytes)
+
+
+def read_segment(path: str) -> dict[int, TableSnapshot]:
+    """Load and validate one segment: ``{table_id: snapshot}``."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    magic, table_count, crc = _SEG_HEADER.unpack_from(raw, 0)
+    if magic != _SEG_MAGIC:
+        raise ValueError(f"{path} is not a checkpoint segment")
+    body = memoryview(raw)[_SEG_HEADER.size :]
+    if zlib.crc32(body) != crc:
+        raise ValueError(f"{path} failed CRC validation")
+    snapshots: dict[int, TableSnapshot] = {}
+    pos = 0
+    for _ in range(table_count):
+        snap, pos = _read_table(body, pos)
+        snapshots[snap.table_id] = snap
+    return snapshots
+
+
+def write_manifest(
+    path: str,
+    last_cid: int,
+    lsn: int,
+    next_table_id: int,
+    entries: dict[int, int],
+) -> int:
+    """Atomically publish a chain manifest; returns bytes written.
+
+    The rename below is the chain's commit point: the
+    ``manifest_publish`` boundary fires before the fsync, so a crash
+    swept there leaves the previous manifest current and every segment
+    written for this checkpoint as unreferenced (GC-able) garbage.
+    """
+    body = b"".join(
+        _MAN_ENTRY.pack(table_id, seg_seq)
+        for table_id, seg_seq in sorted(entries.items())
+    )
+    header = _MAN_HEADER.pack(
+        _MAN_MAGIC, last_cid, lsn, next_table_id, len(entries), zlib.crc32(body)
+    )
+    tmp = path + ".tmp"
+    with open(tmp, "wb") as f:
+        f.write(header)
+        f.write(body)
+        f.flush()
+        persistence_event("manifest_publish")
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return len(header) + len(body)
+
+
+def read_manifest(path: str) -> tuple[int, int, int, dict[int, int]]:
+    """Load and validate a manifest: (last_cid, lsn, next_table_id,
+    {table_id: segment_seq})."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    magic, last_cid, lsn, next_table_id, entry_count, crc = _MAN_HEADER.unpack_from(
+        raw, 0
+    )
+    if magic != _MAN_MAGIC:
+        raise ValueError(f"{path} is not a checkpoint manifest")
+    body = memoryview(raw)[_MAN_HEADER.size :]
+    if zlib.crc32(body) != crc:
+        raise ValueError(f"{path} failed CRC validation")
+    entries: dict[int, int] = {}
+    for i in range(entry_count):
+        table_id, seg_seq = _MAN_ENTRY.unpack_from(body, i * _MAN_ENTRY.size)
+        entries[table_id] = seg_seq
+    return last_cid, lsn, next_table_id, entries
+
+
+@dataclass
+class ChainState:
+    """The decoded head of a checkpoint chain (manifest only)."""
+
+    seq: int
+    last_cid: int
+    lsn: int
+    next_table_id: int
+    #: table_id -> sequence of the segment holding its snapshot.
+    mapping: dict[int, int] = field(default_factory=dict)
+
+
+class CheckpointChain:
+    """One incremental-checkpoint chain directory."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+
+    # -- discovery -----------------------------------------------------
+
+    def _listing(self) -> list[str]:
+        try:
+            return os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+
+    def manifest_seqs(self) -> list[int]:
+        """Manifest sequence numbers on disk, newest first."""
+        seqs = [
+            seq
+            for name in self._listing()
+            if (seq := _parse_seq(name, "manifest-")) is not None
+        ]
+        return sorted(seqs, reverse=True)
+
+    def next_seq(self) -> int:
+        """One past every sequence number ever used in this directory.
+
+        Scans segments *and* manifests so an orphan segment from a
+        crashed publish can never collide with a later checkpoint.
+        """
+        highest = -1
+        for name in self._listing():
+            for prefix in ("seg-", "manifest-"):
+                seq = _parse_seq(name, prefix)
+                if seq is not None and seq > highest:
+                    highest = seq
+        return highest + 1
+
+    def state(self) -> Optional[ChainState]:
+        """Decode the newest readable manifest (no segment I/O).
+
+        A torn or corrupt newest manifest falls back to the previous
+        one — the publish protocol guarantees a successfully renamed
+        older manifest still references only live segments.
+        """
+        for seq in self.manifest_seqs():
+            path = os.path.join(self.directory, _manifest_name(seq))
+            try:
+                last_cid, lsn, next_table_id, mapping = read_manifest(path)
+            except (OSError, ValueError, struct.error):
+                continue
+            return ChainState(seq, last_cid, lsn, next_table_id, mapping)
+        return None
+
+    # -- restore -------------------------------------------------------
+
+    def load(self) -> Optional[tuple[CheckpointData, int, ChainState]]:
+        """Compose the newest complete chain into a ``CheckpointData``.
+
+        Returns ``(data, bytes_read, state)`` or ``None`` when no
+        readable manifest exists. A manifest whose segments turn out
+        unreadable is skipped the same way a torn manifest is.
+        """
+        for seq in self.manifest_seqs():
+            path = os.path.join(self.directory, _manifest_name(seq))
+            try:
+                last_cid, lsn, next_table_id, mapping = read_manifest(path)
+                bytes_read = os.path.getsize(path)
+                by_segment: dict[int, list[int]] = {}
+                for table_id, seg_seq in mapping.items():
+                    by_segment.setdefault(seg_seq, []).append(table_id)
+                data = CheckpointData(last_cid, lsn, next_table_id)
+                for seg_seq in sorted(by_segment):
+                    seg_path = os.path.join(self.directory, _seg_name(seg_seq))
+                    snapshots = read_segment(seg_path)
+                    bytes_read += os.path.getsize(seg_path)
+                    for table_id in by_segment[seg_seq]:
+                        data.tables.append(snapshots[table_id])
+            except (OSError, ValueError, KeyError, struct.error):
+                continue
+            state = ChainState(seq, last_cid, lsn, next_table_id, mapping)
+            return data, bytes_read, state
+        return None
+
+    # -- publish -------------------------------------------------------
+
+    def publish(
+        self,
+        dirty_snapshots: list[TableSnapshot],
+        carry_mapping: dict[int, int],
+        last_cid: int,
+        lsn: int,
+        next_table_id: int,
+    ) -> tuple[ChainState, int]:
+        """Write one incremental checkpoint; returns (new state, bytes).
+
+        ``dirty_snapshots`` are the tables to (re)write; every other
+        live table keeps its ``carry_mapping`` segment reference. With
+        nothing dirty the publish is manifest-only — a cheap way to
+        advance the chain's LSN. GC of superseded files runs only after
+        the new manifest is durably in place.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        seq = self.next_seq()
+        bytes_written = 0
+        mapping = dict(carry_mapping)
+        if dirty_snapshots:
+            seg_path = os.path.join(self.directory, _seg_name(seq))
+            bytes_written += write_segment(seg_path, dirty_snapshots)
+            for snap in dirty_snapshots:
+                mapping[snap.table_id] = seq
+        man_path = os.path.join(self.directory, _manifest_name(seq))
+        bytes_written += write_manifest(
+            man_path, last_cid, lsn, next_table_id, mapping
+        )
+        self._collect_garbage(keep_manifests=2)
+        return ChainState(seq, last_cid, lsn, next_table_id, mapping), bytes_written
+
+    def _collect_garbage(self, keep_manifests: int) -> None:
+        """Drop superseded manifests and unreferenced segments.
+
+        Keeps the newest ``keep_manifests`` manifests (the current one
+        plus fallbacks against a torn head) and every segment any kept
+        manifest references. Removal failures are ignored — garbage is
+        retried at the next publish.
+        """
+        seqs = self.manifest_seqs()
+        kept, dropped = seqs[:keep_manifests], seqs[keep_manifests:]
+        referenced: set[int] = set()
+        for seq in kept:
+            try:
+                _, _, _, mapping = read_manifest(
+                    os.path.join(self.directory, _manifest_name(seq))
+                )
+            except (OSError, ValueError, struct.error):
+                continue
+            referenced.update(mapping.values())
+        doomed = [_manifest_name(seq) for seq in dropped]
+        doomed += [
+            name
+            for name in self._listing()
+            if (seg := _parse_seq(name, "seg-")) is not None
+            and seg not in referenced
+        ]
+        for name in doomed:
+            try:
+                os.remove(os.path.join(self.directory, name))
+            except OSError:
+                pass
+
+
+def load_latest(checkpoint_path: str) -> tuple[Optional[CheckpointData], int]:
+    """Load the newest restorable checkpoint for ``checkpoint_path``.
+
+    Resolution order: the sibling ``checkpoints/`` chain (newest
+    complete manifest wins), then the legacy monolithic file — which
+    replication followers still bootstrap from — then nothing. Returns
+    ``(data or None, bytes read)``.
+    """
+    loaded = CheckpointChain(chain_dir(checkpoint_path)).load()
+    if loaded is not None:
+        data, bytes_read, _ = loaded
+        return data, bytes_read
+    if os.path.exists(checkpoint_path):
+        return read_checkpoint(checkpoint_path), os.path.getsize(checkpoint_path)
+    return None, 0

@@ -67,13 +67,20 @@ class LogScan:
       everything else is a torn tail — or, on a *live* log, a frame the
       writer has not finished flushing yet (:func:`tail_log` retries
       exactly these).
+
+    With ``decode=False`` iteration yields the raw (CRC-checked)
+    payload bytes instead of decoded records — the parallel-replay
+    partitioner routes payloads to per-table queues by their
+    :func:`~repro.wal.records.peek_payload` header and defers the full
+    decode to its apply workers.
     """
 
-    def __init__(self, path: str, start_lsn: int = 0):
+    def __init__(self, path: str, start_lsn: int = 0, decode: bool = True):
         self.path = path
         self.start_lsn = start_lsn
         self.last_good_lsn = start_lsn
         self.stop_reason: Optional[str] = None
+        self.decode = decode
         self._gen = self._scan()
 
     def __iter__(self) -> "LogScan":
@@ -125,7 +132,7 @@ class LogScan:
                     return
                 pos += _HEADER.size + length
                 self.last_good_lsn = pos
-                yield decode_payload(payload), pos
+                yield (decode_payload(payload) if self.decode else payload), pos
                 # Slide the window: drop consumed bytes once a chunk's
                 # worth has accumulated (amortised O(1) per byte).
                 if pos - base >= CHUNK_SIZE:

@@ -311,6 +311,31 @@ def encode_record(record: LogRecord) -> bytes:
     return struct.pack("<II", len(payload), zlib.crc32(payload)) + payload
 
 
+def peek_payload(payload: bytes) -> tuple[int, int, int, int]:
+    """Routing header of a payload without decoding its body.
+
+    Returns ``(rtype, tid, table_id, cid)`` from the fixed-offset
+    prefix every record type starts with; fields a type does not carry
+    come back 0. The parallel-replay partitioner routes raw payloads
+    into per-table queues with this, leaving the expensive value/mask
+    decoding (``decode_payload``) to the apply workers.
+    """
+    (rtype,) = struct.unpack_from("<B", payload, 0)
+    if rtype in (TYPE_INSERT, TYPE_INSERT_MANY, TYPE_INVALIDATE):
+        tid, table_id = struct.unpack_from("<QQ", payload, 1)
+        return rtype, tid, table_id, 0
+    if rtype == TYPE_COMMIT:
+        tid, cid = struct.unpack_from("<QQ", payload, 1)
+        return rtype, tid, 0, cid
+    if rtype == TYPE_ABORT:
+        (tid,) = struct.unpack_from("<Q", payload, 1)
+        return rtype, tid, 0, 0
+    if rtype in (TYPE_CREATE_TABLE, TYPE_DROP_TABLE, TYPE_MERGE):
+        (table_id,) = struct.unpack_from("<Q", payload, 1)
+        return rtype, 0, table_id, 0
+    raise ValueError(f"bad record type {rtype}")
+
+
 def decode_payload(payload: bytes) -> LogRecord:
     """Parse one (already CRC-checked) payload."""
     (rtype,) = struct.unpack_from("<B", payload, 0)

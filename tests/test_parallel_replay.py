@@ -1,0 +1,249 @@
+"""Parallel log replay: element-equality with serial replay + phases.
+
+The parallel path (``replay_workers > 1``) partitions the log into
+per-table queues and drains them with a thread pool; these tests pin
+down the ordering argument from :mod:`repro.recovery.parallel_replay`:
+whatever the workload — bulk batches, deletes, merges, in-flight
+transactions, DDL — the recovered state is element-equal to what the
+serial :class:`~repro.recovery.log_recovery.LogReplayer` produces.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.config import DurabilityMode
+from repro.core.database import Database
+from repro.query.predicate import Eq
+from repro.recovery.validator import validate_database
+from repro.storage.types import DataType
+
+from tests.conftest import make_config
+
+ITEMS = {"id": DataType.INT64, "name": DataType.STRING}
+
+
+def _snapshot(db):
+    """Physical + logical state of every table, for equality checks."""
+    state = {"last_cid": db.last_cid, "tables": {}}
+    for name in sorted(db.table_names):
+        table = db.table(name)
+        state["tables"][name] = {
+            "main_rows": table.main_row_count,
+            "delta_rows": table.delta_row_count,
+            "generation": table.generation,
+            "visible": db.query(name).columns(),
+        }
+    return state
+
+
+def _mixed_workload(path, *, crash=True, leave_in_flight=True):
+    """Inserts, bulk batches, deletes, updates, a merge, and DDL.
+
+    ``checkpoint_after_merge`` is off so the merge record stays in the
+    replayed tail, and the in-flight transaction's operation records are
+    force-synced so the crash deterministically leaves them durable.
+    """
+    cfg = make_config(
+        DurabilityMode.LOG, group_commit_size=1, checkpoint_after_merge=False
+    )
+    db = Database(path, cfg)
+    db.create_table("orders", ITEMS)
+    db.create_table("items", ITEMS)
+    db.create_table("scratch", ITEMS)
+    db.bulk_insert("orders", [{"id": i, "name": f"o{i % 5}"} for i in range(60)])
+    for i in range(40):
+        db.insert("items", {"id": i, "name": f"i{i % 3}"})
+    # Interleave deletes/updates so invalidations land in the log.
+    with db.begin() as txn:
+        ref = db.query("orders", Eq("id", 3)).refs()[0]
+        txn.delete("orders", ref)
+        ref = db.query("items", Eq("id", 7)).refs()[0]
+        txn.update("items", ref, {"name": "touched"})
+    db.merge("orders")
+    # Post-merge writes reference the folded layout.
+    db.bulk_insert("orders", [{"id": 100 + i, "name": "post"} for i in range(10)])
+    db.insert("items", {"id": 999, "name": "late"})
+    db.drop_table("scratch")
+    if leave_in_flight:
+        txn = db.begin()
+        txn.insert("items", {"id": 5000, "name": "ghost"})
+        ref = db.query("orders", Eq("id", 5)).refs()[0]
+        txn.delete("orders", ref)
+        db._driver._wal.sync()  # make the in-flight records durable
+    if crash:
+        db.crash()
+        return None
+    return db
+
+
+class TestElementEquality:
+    def test_parallel_equals_serial_mixed_workload(self, tmp_path):
+        primary = str(tmp_path / "db")
+        _mixed_workload(primary)
+        twin = str(tmp_path / "twin")
+        shutil.copytree(primary, twin)
+
+        serial = Database(primary, make_config(DurabilityMode.LOG))
+        parallel = Database(
+            twin, make_config(DurabilityMode.LOG, replay_workers=4)
+        )
+        try:
+            assert _snapshot(serial) == _snapshot(parallel)
+            s, p = serial.last_recovery, parallel.last_recovery
+            assert p.rows_recovered == s.rows_recovered
+            assert p.txns_rolled_back == s.txns_rolled_back == 1
+            assert p.merges_replayed == s.merges_replayed == 1
+            assert not validate_database(
+                parallel._tables_by_id.values(), parallel.last_cid
+            )
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_parallel_equals_serial_after_checkpoint(self, tmp_path):
+        primary = str(tmp_path / "db")
+        cfg = make_config(DurabilityMode.LOG, group_commit_size=1)
+        db = Database(primary, cfg)
+        db.create_table("items", ITEMS)
+        db.bulk_insert("items", [{"id": i, "name": "x"} for i in range(30)])
+        db.checkpoint()
+        for i in range(10):
+            db.insert("items", {"id": 100 + i, "name": "tail"})
+        db.crash()
+        twin = str(tmp_path / "twin")
+        shutil.copytree(primary, twin)
+
+        serial = Database(primary, make_config(DurabilityMode.LOG))
+        parallel = Database(
+            twin, make_config(DurabilityMode.LOG, replay_workers=4)
+        )
+        try:
+            assert _snapshot(serial) == _snapshot(parallel)
+            # Both replays start at the checkpoint LSN.
+            assert (
+                parallel.last_recovery.log_records_replayed
+                == serial.last_recovery.log_records_replayed
+            )
+            assert parallel.last_recovery.checkpoint_bytes > 0
+        finally:
+            serial.close()
+            parallel.close()
+
+    def test_writes_after_parallel_recovery(self, tmp_path):
+        path = str(tmp_path / "db")
+        _mixed_workload(path)
+        db = Database(path, make_config(DurabilityMode.LOG, replay_workers=4))
+        db.insert("items", {"id": 7777, "name": "fresh"})
+        with db.begin() as txn:
+            ref = db.query("items", Eq("id", 7777)).refs()[0]
+            txn.update("items", ref, {"name": "updated"})
+        assert db.query("items", Eq("id", 7777)).column("name") == ["updated"]
+        db = db.restart()
+        assert db.query("items", Eq("id", 7777)).count == 1
+        db.close()
+
+
+class TestParallelPhases:
+    def test_parallel_report_phases(self, tmp_path):
+        path = str(tmp_path / "db")
+        _mixed_workload(path, leave_in_flight=False)
+        db = Database(path, make_config(DurabilityMode.LOG, replay_workers=4))
+        phases = [name for name, _ in db.last_recovery.phases]
+        assert phases == [
+            "checkpoint_load",
+            "log_partition",
+            "parallel_apply",
+            "log_reopen",
+            "index_rebuild",
+        ]
+        db.close()
+
+    def test_span_coverage(self, tmp_path):
+        """The phase spans account for >=95% of recovery wall time."""
+        path = str(tmp_path / "db")
+        cfg = make_config(DurabilityMode.LOG)
+        db = Database(path, cfg)
+        db.create_table("items", ITEMS)
+        db.bulk_insert(
+            "items", [{"id": i, "name": f"n{i % 7}"} for i in range(3000)]
+        )
+        db.create_index("items", "id")
+        db.crash()
+        db = Database(path, make_config(DurabilityMode.LOG, replay_workers=4))
+        report = db.last_recovery
+        assert report.span.finished
+        assert report.span.child_seconds() >= 0.95 * report.total_seconds
+        db.close()
+
+
+class TestParallelEdgeCases:
+    def test_fresh_database_with_workers(self, tmp_path):
+        db = Database(
+            str(tmp_path / "db"),
+            make_config(DurabilityMode.LOG, replay_workers=8),
+        )
+        db.create_table("t", ITEMS)
+        db.insert("t", {"id": 1, "name": "a"})
+        db = db.restart()
+        assert db.query("t").count == 1
+        db.close()
+
+    def test_more_workers_than_tables(self, tmp_path):
+        path = str(tmp_path / "db")
+        cfg = make_config(DurabilityMode.LOG, group_commit_size=1)
+        db = Database(path, cfg)
+        db.create_table("only", ITEMS)
+        db.bulk_insert("only", [{"id": i, "name": "x"} for i in range(25)])
+        db.crash()
+        db = Database(path, make_config(DurabilityMode.LOG, replay_workers=16))
+        assert db.query("only").count == 25
+        db.close()
+
+    def test_dropped_table_stays_dropped(self, tmp_path):
+        path = str(tmp_path / "db")
+        cfg = make_config(DurabilityMode.LOG, group_commit_size=1)
+        db = Database(path, cfg)
+        db.create_table("keep", ITEMS)
+        db.create_table("gone", ITEMS)
+        db.bulk_insert("gone", [{"id": i, "name": "x"} for i in range(10)])
+        db.insert("keep", {"id": 1, "name": "a"})
+        db.drop_table("gone")
+        db.crash()
+        db = Database(path, make_config(DurabilityMode.LOG, replay_workers=4))
+        assert db.table_names == ["keep"]
+        db.close()
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_inflight_rolled_back(self, tmp_path, workers):
+        path = str(tmp_path / f"db{workers}")
+        cfg = make_config(DurabilityMode.LOG, group_commit_size=1)
+        db = Database(path, cfg)
+        db.create_table("t", ITEMS)
+        db.bulk_insert("t", [{"id": i, "name": "x"} for i in range(12)])
+        txn = db.begin()
+        txn.insert("t", {"id": 999, "name": "ghost"})
+        db._driver._wal.sync()  # make the in-flight record durable
+        db.crash()
+        db = Database(
+            path, make_config(DurabilityMode.LOG, replay_workers=workers)
+        )
+        assert db.last_recovery.txns_rolled_back == 1
+        assert db.query("t").count == 12
+        assert db.query("t", Eq("id", 999)).count == 0
+        db.close()
+
+    def test_indexes_rebuilt_in_parallel(self, tmp_path):
+        path = str(tmp_path / "db")
+        cfg = make_config(DurabilityMode.LOG, group_commit_size=1)
+        db = Database(path, cfg)
+        for name in ("a", "b", "c"):
+            db.create_table(name, ITEMS)
+            db.bulk_insert(name, [{"id": i, "name": "x"} for i in range(20)])
+            db.create_index(name, "id")
+        db.crash()
+        db = Database(path, make_config(DurabilityMode.LOG, replay_workers=4))
+        for name in ("a", "b", "c"):
+            assert "id" in db.indexes_on(name)
+            assert db.query(name, Eq("id", 11)).count == 1
+        db.close()
